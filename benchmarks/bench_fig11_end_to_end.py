@@ -1,0 +1,89 @@
+"""Fig. 11 — end-to-end performance and energy efficiency vs Gemmini over
+the NN model suite (matched resources: 256 MACs, 256 KB, 16 GB/s).
+
+Paper: LEGO averages 3.2x speedup and 2.4x energy efficiency; both are
+DRAM-bandwidth-bound on GPT-2; the MobileNetV2 gap is the largest
+(dynamic dataflow switching on depthwise layers).
+
+Also regenerates the §VI-B(e) instruction-overhead rows (cycles per
+instruction > 2000 on most models, instruction bandwidth < 1% of DRAM).
+"""
+
+import math
+
+from repro.models import zoo
+from repro.sim.perf_model import GEMMINI_LIKE, ArchPerf, evaluate_model
+
+from conftest import record_table
+
+LEGO = ArchPerf(name="LEGO-MNICOC", dataflows=("MN", "ICOC", "OCOH"))
+
+MODELS = ("AlexNet", "MobileNetV2", "ResNet50", "EfficientNetV2", "BERT",
+          "GPT2", "CoAtNet")
+
+PAPER = {  # (gemmini GOP/s, lego GOP/s, gemmini GOPS/W, lego GOPS/W)
+    "AlexNet": (118, 241, 549, 847),
+    "MobileNetV2": (24, 310, 113, 1090),
+    "ResNet50": (290, 475, 1346, 1668),
+    "EfficientNetV2": (131, 430, 610, 1513),
+    "BERT": (159, 456, 739, 1603),
+    "GPT2": (11, 29, 52, 102),
+    "CoAtNet": (143, 441, 666, 1551),
+}
+
+
+def test_fig11_perf_and_efficiency(benchmark):
+    def run():
+        out = {}
+        for name in MODELS:
+            model = zoo.MODEL_BUILDERS[name]()
+            out[name] = (evaluate_model(model, GEMMINI_LIKE),
+                         evaluate_model(model, LEGO))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'model':16s}{'Gemmini':>9s}{'LEGO':>8s}{'speedup':>9s}"
+             f"{'(paper)':>9s}{'Gem eff':>9s}{'LEGO eff':>9s}{'ratio':>7s}"
+             f"{'(paper)':>9s}"]
+    sp_log = eff_log = 0.0
+    for name in MODELS:
+        gem, lego = results[name]
+        s = lego.gops / gem.gops
+        e = lego.gops_per_watt / gem.gops_per_watt
+        sp_log += math.log(s)
+        eff_log += math.log(e)
+        pg, pl, peg, pel = PAPER[name]
+        lines.append(
+            f"{name:16s}{gem.gops:9.0f}{lego.gops:8.0f}{s:8.1f}x"
+            f"{pl / pg:8.1f}x{gem.gops_per_watt:9.0f}"
+            f"{lego.gops_per_watt:9.0f}{e:6.1f}x{pel / peg:8.1f}x")
+    gm_s = math.exp(sp_log / len(MODELS))
+    gm_e = math.exp(eff_log / len(MODELS))
+    lines.append(f"{'GEOMEAN':16s}{'':9s}{'':8s}{gm_s:8.1f}x{'3.2':>8s}x"
+                 f"{'':9s}{'':9s}{gm_e:6.1f}x{'2.4':>8s}x")
+
+    lines.append("")
+    lines.append("instruction overhead (SVI-B(e)):")
+    lines.append(f"{'model':16s}{'cyc/instr':>12s}{'instr BW GB/s':>15s}")
+    for name in MODELS:
+        stats = results[name][1].instruction_stats()
+        lines.append(f"{name:16s}{stats['cycles_per_instruction']:12.0f}"
+                     f"{stats['instruction_bw_gbs']:15.3f}")
+
+    record_table("fig11_end_to_end",
+                 "Fig. 11: end-to-end performance vs Gemmini", lines)
+
+    # Shape assertions.
+    for name in MODELS:
+        gem, lego = results[name]
+        assert lego.gops > gem.gops, name
+        assert lego.gops_per_watt > gem.gops_per_watt, name
+    mbv2 = results["MobileNetV2"]
+    r50 = results["ResNet50"]
+    assert (mbv2[1].gops / mbv2[0].gops) > (r50[1].gops / r50[0].gops), \
+        "depthwise switching must give MobileNetV2 the larger speedup"
+    assert results["GPT2"][1].utilization < 0.1, "GPT-2 is bandwidth-bound"
+    assert gm_s > 1.5
+    benchmark.extra_info["geomean_speedup"] = gm_s
+    benchmark.extra_info["geomean_efficiency"] = gm_e

@@ -1,0 +1,77 @@
+"""Fig. 12 — (a) area/power breakdown of the LEGO-MNICOC design and
+(b) the end-to-end latency share of the post-processing units.
+
+Paper: 1.76 mm2 / 285 mW total; buffers dominate area (86%), FU array +
+NoC dominate power (83%); PPUs cost <= 2% area, 5% power, and their
+latency overhead stays under 7.2% on every model.
+"""
+
+import pytest
+
+from repro.arch import AcceleratorSpec, build
+from repro.models import zoo
+from repro.sim.perf_model import evaluate_model
+
+from conftest import record_table
+
+MODELS = ("AlexNet", "MobileNetV2", "ResNet50", "EfficientNetV2", "BERT",
+          "GPT2", "CoAtNet")
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build(AcceleratorSpec(name="LEGO-MNICOC", array=(16, 16),
+                                 buffer_kb=256, n_ppus=8))
+
+
+def test_fig12a_area_power_breakdown(benchmark, accelerator):
+    report = benchmark.pedantic(accelerator.area_power, rounds=1,
+                                iterations=1)
+    area = dict(report.area_um2)
+    power = dict(report.power_mw)
+    # Fold control into the FU array as the paper's categories do.
+    area["fu_array"] = area.get("fu_array", 0) + area.pop("control", 0)
+    power["fu_array"] = power.get("fu_array", 0) + power.pop("control", 0)
+    total_a, total_p = sum(area.values()), sum(power.values())
+
+    paper_area = {"fu_array": 7, "buffers": 86, "noc": 5, "ppus": 2}
+    paper_power = {"fu_array": 57, "buffers": 12, "noc": 26, "ppus": 5}
+    lines = [f"total: {total_a / 1e6:.2f} mm2 (paper 1.76), "
+             f"{total_p:.0f} mW (paper 285)",
+             f"{'component':12s}{'area %':>8s}{'paper':>7s}"
+             f"{'power %':>9s}{'paper':>7s}"]
+    for cat in ("fu_array", "buffers", "noc", "ppus"):
+        lines.append(f"{cat:12s}{100 * area.get(cat, 0) / total_a:8.1f}"
+                     f"{paper_area[cat]:7d}"
+                     f"{100 * power.get(cat, 0) / total_p:9.1f}"
+                     f"{paper_power[cat]:7d}")
+    record_table("fig12a_breakdown", "Fig. 12(a): area and power breakdown",
+                 lines)
+
+    # Shape: buffers dominate area; FU array + NoC dominate power; PPUs
+    # are small on both axes.
+    assert area["buffers"] / total_a > 0.5
+    assert (power["fu_array"] + power["noc"]) / total_p > 0.5
+    assert area["ppus"] / total_a < 0.05
+    assert power["ppus"] / total_p < 0.08
+    assert 0.5 < total_a / 1e6 < 5.0
+
+
+def test_fig12b_ppu_latency_share(benchmark, accelerator):
+    arch = accelerator.spec.perf_arch()
+
+    def run():
+        return {name: evaluate_model(zoo.MODEL_BUILDERS[name](), arch)
+                for name in MODELS}
+
+    perfs = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {"AlexNet": 0.5, "MobileNetV2": 1.0, "ResNet50": 2.5,
+             "EfficientNetV2": 7.2, "BERT": 1.9, "GPT2": 0.9,
+             "CoAtNet": 5.7}
+    lines = [f"{'model':16s}{'PPU latency %':>14s}{'paper %':>9s}"]
+    for name in MODELS:
+        share = 100 * perfs[name].ppu_fraction
+        lines.append(f"{name:16s}{share:14.1f}{paper[name]:9.1f}")
+        assert share < 15.0, f"PPU share must stay small ({name})"
+    record_table("fig12b_ppu_share",
+                 "Fig. 12(b): post-processing latency share", lines)

@@ -1,0 +1,80 @@
+"""Table III — LEGO-generated designs vs handwritten accelerators under
+the same dataflow and settings.
+
+Paper: LEGO-KHOH (168 FUs, KH-OH parallel, 200 MHz, 65 nm-class) reaches
+7.4 mm2 / 112 mW vs Eyeriss's 9.6 mm2 / 278 mW; LEGO-ICOC (256 FUs,
+IC-OC parallel, 1 GHz, 28 nm) reaches 1.5 mm2 / 209 mW vs NVDLA's
+1.7 mm2 / 300 mW — automatically generated hardware is comparable to
+expert RTL.
+"""
+
+import pytest
+
+from repro.arch import AcceleratorSpec, build
+from repro.arch.references import EYERISS, NVDLA
+from repro.backend import generate, run_backend
+from repro.core import kernels
+from repro.core.frontend import build_adg
+from repro.sim.energy_model import TSMC28, evaluate_design, sram_model
+
+from conftest import record_table
+
+
+def _khoh_design():
+    """Eyeriss-style KH-OH parallel array: 3 x 56 = 168 FUs."""
+    conv = kernels.conv2d(1, 8, 8, 56, 8, 3, 3)
+    df = kernels.conv2d_dataflow("KHOH", conv, 3, 56)
+    return run_backend(generate(build_adg([df])))
+
+
+def _icoc_spec():
+    return AcceleratorSpec(name="LEGO-ICOC", array=(16, 16), buffer_kb=256,
+                           conv_dataflows=("ICOC",), gemm_dataflows=(),
+                           n_ppus=0)
+
+
+def test_table3_vs_handwritten(benchmark):
+    def run():
+        khoh = _khoh_design()
+        icoc = build(_icoc_spec())
+        return khoh, icoc
+
+    khoh, icoc = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # LEGO-KHOH at Eyeriss's node (65 nm) and frequency (200 MHz).
+    tech65 = TSMC28.scaled(65.0)
+    tech65 = type(tech65)(**{**tech65.__dict__, "freq_mhz": 200.0})
+    khoh_rep = evaluate_design(khoh, tech65)
+    khoh_sram = sram_model(tech65, 108, 64, n_banks=14)  # Eyeriss-class 108KB
+    khoh_area = (khoh_rep.total_area_um2 + khoh_sram["area_um2"]) / 1e6
+    khoh_power = khoh_rep.total_power_mw + khoh_sram["read_pj"] * \
+        0.3 * 14 * tech65.freq_mhz * 1e6 * 1e-9
+
+    icoc_rep = icoc.area_power()
+    icoc_area = icoc_rep.total_area_mm2
+    icoc_power = icoc_rep.total_power_mw
+
+    lines = [
+        f"{'design':14s}{'#FUs':>6s}{'freq':>9s}{'area mm2':>10s}"
+        f"{'power mW':>10s}",
+        f"{'Eyeriss':14s}{EYERISS.n_fus:6d}{EYERISS.frequency_mhz:7.0f}MHz"
+        f"{EYERISS.area_mm2:10.1f}{EYERISS.power_mw:10.0f}   (published)",
+        f"{'LEGO-KHOH':14s}{168:6d}{200:7d}MHz{khoh_area:10.1f}"
+        f"{khoh_power:10.0f}   (measured; paper: 7.4 / 112)",
+        f"{'NVDLA':14s}{NVDLA.n_fus:6d}{NVDLA.frequency_mhz:7.0f}MHz"
+        f"{NVDLA.area_mm2:10.1f}{NVDLA.power_mw:10.0f}   (published)",
+        f"{'LEGO-ICOC':14s}{256:6d}{1000:7d}MHz{icoc_area:10.1f}"
+        f"{icoc_power:10.0f}   (measured; paper: 1.5 / 209)",
+    ]
+    record_table("table3_handwritten",
+                 "Table III: LEGO vs handwritten designs", lines)
+
+    # Shape: generated designs are comparable to (not multiples of) the
+    # expert designs — within 2x on both axes, and cheaper in power than
+    # Eyeriss (interconnect reuse replaces scratchpad reads).
+    assert khoh_area < 2 * EYERISS.area_mm2
+    assert khoh_power < EYERISS.power_mw
+    assert icoc_area < 2 * NVDLA.area_mm2
+    assert icoc_power < 2 * NVDLA.power_mw
+    benchmark.extra_info["khoh_area_mm2"] = khoh_area
+    benchmark.extra_info["icoc_area_mm2"] = icoc_area

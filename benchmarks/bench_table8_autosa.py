@@ -1,0 +1,78 @@
+"""Table VIII — FPGA resource comparison with AutoSA on Xilinx U280
+(8x8 arrays; AutoSA numbers published, LEGO-side measured from the DAG).
+
+Paper: LEGO needs 3.9-4.9K FF and 4.2-4.8K LUT where AutoSA needs
+25-120K — the polyhedral representation replicates control logic
+(counters, address generators) per PE, while LEGO shares one control
+unit via store-and-forward.
+"""
+
+from repro.arch.references import AUTOSA_FPGA
+from repro.backend import generate, run_backend
+from repro.core import kernels
+from repro.core.frontend import build_adg
+from repro.sim.energy_model import evaluate_design
+
+from conftest import record_table
+
+PAPER_LEGO = {"GEMM-IJ": (3_900, 4_800), "Conv2d-OCOH": (4_900, 4_200),
+              "MTTKRP-IJ": (4_900, 4_700)}
+
+
+def _fpga_resources(design):
+    """FF = all sequential bits; LUT ~= combinational logic bits / 2
+    (a 6-LUT absorbs ~2 bits of arithmetic)."""
+    dag = design.dag
+    ff = dag.pipeline_register_bits() + dag.fifo_register_bits()
+    lut = 0.0
+    for nid, node in dag.nodes.items():
+        if node.kind in ("ctrl", "ctrl_tap", "addrgen", "mem_read", "mul",
+                         "add", "reducer", "lut"):
+            ff += node.width
+        if node.kind in ("add", "sub", "max", "shl", "shr"):
+            lut += node.width
+        elif node.kind == "mul":
+            ins = [dag.nodes[e.src].width for e in dag.in_edges(nid)]
+            lut += (ins[0] * ins[1] / 2) if len(ins) >= 2 else node.width
+        elif node.kind == "reducer":
+            lut += node.width * max(
+                node.params.get("n_phys_pins",
+                                node.params.get("n_inputs", 2)) - 1, 1)
+        elif node.kind == "mux":
+            lut += node.width * max(node.params.get("n_inputs", 1) - 1, 0) / 2
+        elif node.kind in ("addrgen", "ctrl"):
+            lut += 48
+    return int(ff), int(lut)
+
+
+def test_table8_vs_autosa(benchmark):
+    def run():
+        designs = {}
+        gemm = kernels.gemm(16, 16, 16)
+        designs["GEMM-IJ"] = run_backend(generate(build_adg(
+            [kernels.gemm_dataflow("IJ", gemm, 8, 8)])))
+        conv = kernels.conv2d(1, 8, 16, 16, 8, 3, 3)
+        designs["Conv2d-OCOH"] = run_backend(generate(build_adg(
+            [kernels.conv2d_dataflow("OCOH", conv, 8, 8)])))
+        mt = kernels.mttkrp(16, 16, 8, 8)
+        designs["MTTKRP-IJ"] = run_backend(generate(build_adg(
+            [kernels.mttkrp_dataflow("IJ", mt, 8, 8)])))
+        return designs
+
+    designs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'kernel':14s}{'AutoSA FF':>11s}{'LEGO FF':>9s}"
+             f"{'(paper)':>9s}{'AutoSA LUT':>12s}{'LEGO LUT':>10s}"
+             f"{'(paper)':>9s}"]
+    for name, design in designs.items():
+        ff, lut = _fpga_resources(design)
+        pub = AUTOSA_FPGA[name]
+        paper_ff, paper_lut = PAPER_LEGO[name]
+        lines.append(f"{name:14s}{pub['FF']:11,d}{ff:9,d}{paper_ff:9,d}"
+                     f"{pub['LUT']:12,d}{lut:10,d}{paper_lut:9,d}")
+        # Shape: LEGO uses several-x fewer FFs and LUTs than AutoSA's
+        # published numbers for the same kernel and array size.
+        assert ff < pub["FF"], name
+        assert lut < pub["LUT"], name
+    record_table("table8_autosa",
+                 "Table VIII: FPGA resources vs AutoSA (U280)", lines)

@@ -1,0 +1,45 @@
+"""Generative AI on a scaled-up design (the Table II experiment): DDPM,
+Stable Diffusion, and LLaMA-7B decode on LEGO-ICOC-1K (1024 FUs, 576 KB,
+32 GB/s).
+
+Demonstrates the compute-bound / memory-bound split the paper reports:
+diffusion models keep the array >80% busy; single-batch LLM decode is
+crushed by DRAM bandwidth, and batching recovers utilization.
+
+Run:  python examples/generative_ai.py
+"""
+
+from repro.models import zoo
+from repro.sim.perf_model import ArchPerf, evaluate_model
+
+LEGO_1K = ArchPerf(
+    name="LEGO-ICOC-1K",
+    array=(32, 32),
+    buffer_kb=576.0,
+    dram_gbps=32.0,
+    n_ppus=32,
+    dataflows=("MN", "ICOC", "OCOH"),
+)
+
+
+def main() -> None:
+    cases = [
+        ("DDPM", zoo.ddpm()),
+        ("Stable Diffusion", zoo.stable_diffusion()),
+        ("LLaMA-7B bs=1", zoo.llama7b_decode(1)),
+        ("LLaMA-7B bs=32", zoo.llama7b_decode(32)),
+    ]
+    print(f"{'model':20s}{'util':>8s}{'GOP/s':>10s}{'GOPS/W':>10s}"
+          f"{'PPU overhead':>14s}")
+    for name, model in cases:
+        perf = evaluate_model(model, LEGO_1K)
+        print(f"{name:20s}{100 * perf.utilization:7.1f}%"
+              f"{perf.gops:10.0f}{perf.gops_per_watt:10.0f}"
+              f"{100 * perf.ppu_fraction:13.1f}%")
+    print()
+    print("Note: LLaMA decode at bs=1 has arithmetic intensity ~2 ops/byte;"
+          "\nthe array idles on DRAM — exactly the paper's Table II finding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Dataflow fusion (paper §IV-C): one physical FU array that switches
+between GEMM I-J and K-J parallelism at runtime.
+
+Shows the heuristic interconnection planning sharing physical links
+across dataflows (vs the naive merge-with-muxes baseline), then verifies
+both runtime configurations bit-exactly.
+
+Run:  python examples/multi_dataflow_fusion.py
+"""
+
+import numpy as np
+
+from repro import FrontendConfig, build_adg, generate, kernels, run_backend
+from repro.sim.dag_sim import Simulator, make_input
+from repro.sim.energy_model import evaluate_design
+
+
+def main() -> None:
+    workload = kernels.gemm(32, 32, 32)
+    df_ij = kernels.gemm_dataflow("IJ", workload, 8, 8)
+    df_kj = kernels.gemm_dataflow("KJ", workload, 8, 8)
+
+    fused_adg = build_adg([df_ij, df_kj])
+    naive_adg = build_adg([df_ij, df_kj], FrontendConfig(fuse_heuristic=False))
+    print(f"{'':24s}{'heuristic':>12s}{'naive mux':>12s}")
+    for key in ("n_connections", "delay_registers", "mux_inputs",
+                "n_data_nodes"):
+        print(f"{key:24s}{fused_adg.stats()[key]:12d}"
+              f"{naive_adg.stats()[key]:12d}")
+    shared = [c for c in fused_adg.connections if len(c.dataflows) == 2]
+    print(f"physical links shared by both dataflows: {len(shared)}")
+
+    fused = run_backend(generate(fused_adg))
+    naive = run_backend(generate(naive_adg))
+    for label, design in (("heuristic", fused), ("naive", naive)):
+        report = evaluate_design(design)
+        print(f"{label:10s}: {design.report['register_bits']:6d} register "
+              f"bits, {report.total_power_mw:6.1f} mW")
+
+    # Both configurations of the fused design compute correct GEMMs.
+    rng = np.random.default_rng(1)
+    for name in (df_ij.name, df_kj.name):
+        x = make_input(fused, name, "X", rng)
+        w = make_input(fused, name, "W", rng)
+        y = Simulator(fused, name).run({"X": x, "W": w}).outputs["Y"]
+        assert np.array_equal(y, x @ w)
+        print(f"runtime config {name}: bit-exact  [OK]")
+
+
+if __name__ == "__main__":
+    main()

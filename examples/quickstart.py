@@ -1,0 +1,56 @@
+"""Quickstart: generate a TPU-like systolic GEMM accelerator from four
+affine matrices, optimize it, verify it bit-exactly, and look at the RTL.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BackendOptions, build_adg, generate, kernels, run_backend
+from repro.backend.verilog import emit_verilog
+from repro.sim.dag_sim import Simulator, make_input
+from repro.sim.energy_model import evaluate_design
+
+
+def main() -> None:
+    # 1. Describe the workload: GEMM as a loop nest with affine data maps.
+    workload = kernels.gemm(32, 32, 32)
+    print(f"workload: {workload.name}, dims {workload.dims}, "
+          f"{workload.total_ops() / 1e3:.0f} Kops")
+
+    # 2. Pick a dataflow: parallelize k and j on an 8x8 array, systolic
+    #    control (c = [1, 1]) — the Fig. 3 schedule.
+    dataflow = kernels.gemm_dataflow("KJ", workload, 8, 8)
+    print(f"dataflow: {dataflow.name}, FU array {dataflow.rs}, "
+          f"control flow {dataflow.control}")
+
+    # 3. Front end: reuse analysis -> interconnections -> memory banking.
+    adg = build_adg([dataflow])
+    print("ADG:", adg.stats())
+
+    # 4. Back end: codegen + LP delay matching + reduction trees + pin
+    #    reuse + power gating.
+    design = run_backend(generate(adg), BackendOptions())
+    print(f"DAG: {len(design.dag.nodes)} primitives, "
+          f"{design.report['register_bits']} register bits after optimization")
+
+    # 5. Verify bit-exactly against numpy on the cycle-accurate simulator.
+    rng = np.random.default_rng(0)
+    x = make_input(design, dataflow.name, "X", rng)
+    w = make_input(design, dataflow.name, "W", rng)
+    y = Simulator(design, dataflow.name).run({"X": x, "W": w}).outputs["Y"]
+    assert np.array_equal(y, x @ w), "generated hardware disagrees with numpy!"
+    print("functional check: generated design == numpy GEMM  [OK]")
+
+    # 6. Area/power and RTL.
+    report = evaluate_design(design)
+    print(f"FU array: {report.total_area_mm2 * 1000:.0f} kum2, "
+          f"{report.total_power_mw:.1f} mW")
+    rtl = emit_verilog(design, "gemm_8x8")
+    print(f"Verilog: {len(rtl.splitlines())} lines; header:")
+    for line in rtl.splitlines()[:6]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""LEGO: spatial accelerator generation and optimization for tensor
+applications — a from-scratch Python reproduction of the HPCA 2025 paper.
+
+Quickstart::
+
+    from repro import kernels, build_adg, generate, run_backend
+    wl = kernels.gemm(64, 64, 64)
+    df = kernels.gemm_dataflow("KJ", wl, 16, 16)
+    design = run_backend(generate(build_adg([df])))
+    print(design.report["register_bits"])
+"""
+
+from .backend import BackendOptions, generate, run_backend
+from .core import AffineMap, BodyOp, Dataflow, TensorAccess, Workload
+from .core import kernels
+from .core.frontend import FrontendConfig, build_adg
+
+__version__ = "1.0.0"
+
+__all__ = ["AffineMap", "Workload", "TensorAccess", "BodyOp", "Dataflow",
+           "kernels", "build_adg", "FrontendConfig", "generate",
+           "run_backend", "BackendOptions", "__version__"]

@@ -1,0 +1,7 @@
+"""Accelerator assembly, baselines, and published reference designs."""
+
+from .accelerator import Accelerator, AcceleratorSpec, build
+from .references import AUTOSA_FPGA, EYERISS, NVDLA, SODA_45NM
+
+__all__ = ["Accelerator", "AcceleratorSpec", "build", "EYERISS", "NVDLA",
+           "AUTOSA_FPGA", "SODA_45NM"]

@@ -1,0 +1,171 @@
+"""Top-level accelerator assembly — the public "LEGO" entry point.
+
+An :class:`AcceleratorSpec` names the resources (FU array, buffers,
+bandwidth, PPUs) and the spatial dataflows to fuse; :func:`build`
+runs the complete flow — front end, backend passes, RTL emission — and
+wraps the result with the performance/energy models so a user can ask
+for end-to-end model latency, area/power breakdowns, and Verilog, all
+from one object.
+
+This is what the evaluation instantiates as ``LEGO-MNICOC`` (Fig. 11/12,
+Table V) and ``LEGO-ICOC-1K`` (Table II).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..backend import BackendOptions, generate, run_backend
+from ..backend.verilog import emit_verilog
+from ..core import kernels
+from ..core.frontend import FrontendConfig, build_adg
+from ..sim.energy_model import TSMC28, AreaPowerReport, TechModel, sram_model
+from ..sim.noc import ButterflyNetwork, WormholeMesh
+from ..sim.perf_model import ArchPerf, ModelPerf, evaluate_model
+
+__all__ = ["AcceleratorSpec", "Accelerator", "build"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Resource and dataflow specification of one accelerator instance."""
+
+    name: str = "LEGO-MNICOC"
+    array: tuple[int, int] = (16, 16)
+    buffer_kb: float = 256.0
+    dram_gbps: float = 16.0
+    freq_mhz: float = 1000.0
+    n_ppus: int = 8
+    #: conv dataflows to fuse in the generated design
+    conv_dataflows: tuple[str, ...] = ("ICOC", "OHOW")
+    #: GEMM dataflows to fuse
+    gemm_dataflows: tuple[str, ...] = ("IJ",)
+    #: L2 NoC mesh (cols, rows); (1, 1) means no NoP scaling
+    l2_noc: tuple[int, int] = (1, 1)
+    backend_options: BackendOptions = field(default_factory=BackendOptions)
+
+    @property
+    def n_fus(self) -> int:
+        return (self.array[0] * self.array[1]
+                * self.l2_noc[0] * self.l2_noc[1])
+
+    def perf_arch(self) -> ArchPerf:
+        """Derive the performance-model view of this spec."""
+        dataflows = []
+        if "OHOW" in self.conv_dataflows or "MN" in self.conv_dataflows:
+            dataflows.append("MN")
+        if "ICOC" in self.conv_dataflows or self.gemm_dataflows:
+            dataflows.append("ICOC")
+        for df in self.conv_dataflows:
+            if df in ("KHOH", "OCOH"):
+                dataflows.append(df)
+        if "IJ" in self.gemm_dataflows and "MN" not in dataflows:
+            dataflows.append("MN")
+        return ArchPerf(
+            name=self.name,
+            array=self.array,
+            buffer_kb=self.buffer_kb,
+            dram_gbps=self.dram_gbps,
+            freq_mhz=self.freq_mhz,
+            n_ppus=self.n_ppus,
+            dataflows=tuple(dict.fromkeys(dataflows)),
+        )
+
+
+@dataclass
+class Accelerator:
+    """A fully generated accelerator with its models attached."""
+
+    spec: AcceleratorSpec
+    design: object
+    generation_seconds: float
+    tech: TechModel = TSMC28
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, model) -> ModelPerf:
+        """End-to-end performance of a network from the model zoo."""
+        return evaluate_model(model, self.spec.perf_arch(), self.tech)
+
+    def verilog(self) -> str:
+        return emit_verilog(self.design,
+                            module_name=self.spec.name.lower().replace("-", "_"))
+
+    def area_power(self, active_dataflow: str | None = None) -> AreaPowerReport:
+        """Full-chip area/power: generated array + SRAM + NoC + PPUs."""
+        from ..sim.energy_model import evaluate_design
+
+        report = evaluate_design(self.design, self.tech,
+                                 active_dataflow=active_dataflow)
+        # L1/L2 SRAM macros (CACTI-like), banked per the front-end layout.
+        # Wide bank words let several adjacent data nodes share one
+        # physical bank; cap the macro bank count accordingly.
+        n_banks = max(min(sum(m.n_banks
+                              for m in self.design.adg.memory.values()), 32),
+                      4)
+        sram = sram_model(self.tech, self.spec.buffer_kb, 64, n_banks=n_banks)
+        report.area_um2["buffers"] = (report.area_um2.get("buffers", 0.0)
+                                      + sram["area_um2"])
+        # Assume ~30% of cycles touch each bank on average.
+        access_rate = 0.30 * self.tech.freq_mhz * 1e6 * n_banks
+        report.power_mw["buffers"] = (report.power_mw.get("buffers", 0.0)
+                                      + sram["read_pj"] * access_rate * 1e-9)
+        # L1 butterfly distribution network between banks and data nodes.
+        radix = 1 << max(1, math.ceil(math.log2(max(n_banks, 2))))
+        butterfly = ButterflyNetwork(radix)
+        report.area_um2["noc"] = butterfly.area_um2(self.tech.noc_area_per_port)
+        # L1 NoC also provides strided access and transpose (§II); its
+        # power is dominated by wide link toggling.
+        report.power_mw["noc"] = butterfly.n_switches * 0.9
+        # L2 wormhole mesh when scaled past one PE (Table IV).
+        cols, rows = self.spec.l2_noc
+        if cols * rows > 1:
+            mesh = WormholeMesh(cols, rows)
+            scale = cols * rows
+            for key in list(report.area_um2):
+                report.area_um2[key] *= scale
+            for key in list(report.power_mw):
+                report.power_mw[key] *= scale
+            report.area_um2["noc"] += mesh.area_um2(self.tech.noc_area_per_port)
+            report.power_mw["noc"] += (mesh.n_nodes * 5
+                                       * self.tech.mux_energy_per_bit * 128
+                                       * self.tech.freq_mhz * 1e6 * 0.3 * 1e-9)
+        # PPUs: LUT + reduction adder each.
+        ppu_area = self.spec.n_ppus * (self.tech.lut_area
+                                       + self.tech.adder_area_per_bit * 32)
+        report.area_um2["ppus"] = ppu_area
+        report.power_mw["ppus"] = (self.spec.n_ppus * self.tech.lut_energy
+                                   * self.tech.freq_mhz * 1e6 * 0.25 * 1e-9)
+        return report
+
+
+def build(spec: AcceleratorSpec, *, workload_scale: int = 2,
+          frontend: FrontendConfig | None = None) -> Accelerator:
+    """Run the complete LEGO flow for *spec* and return the accelerator.
+
+    ``workload_scale`` sizes the representative kernels used for
+    generation at ``scale x`` the FU array along each parallelized dim —
+    large enough to exercise every interconnection, small enough to keep
+    the LP fast (generation time is itself a Table IV metric).
+    """
+    t0 = time.perf_counter()
+    p0, p1 = spec.array
+    s = workload_scale
+    dataflows = []
+    if spec.conv_dataflows:
+        conv = kernels.conv2d(1, max(s * p1, 8), max(s * p0, 8),
+                              max(s * p0, 8), max(s * p1, 8), 3, 3)
+        for kind in spec.conv_dataflows:
+            dataflows.append(kernels.conv2d_dataflow(kind, conv, p0, p1))
+    if spec.gemm_dataflows:
+        gemm = kernels.gemm(s * p0, s * p1, max(s * p0, 8))
+        for kind in spec.gemm_dataflows:
+            dataflows.append(kernels.gemm_dataflow(kind, gemm, p0, p1))
+    if not dataflows:
+        raise ValueError("spec must request at least one dataflow")
+    adg = build_adg(dataflows, frontend)
+    design = run_backend(generate(adg), spec.backend_options)
+    elapsed = time.perf_counter() - t0
+    return Accelerator(spec=spec, design=design, generation_seconds=elapsed)

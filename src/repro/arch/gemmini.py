@@ -1,0 +1,56 @@
+"""The Gemmini-class baseline (Fig. 11's comparison point).
+
+Gemmini (Genc et al., DAC'21) is a template-based generator: a fixed
+weight-stationary systolic array with a scratchpad and accumulator,
+driven over RoCC instructions from a host core.  The paper configures it
+with the same resources as LEGO (256 MACs, 256 KB, 16 GB/s) and measures
+tensor-kernel cycles only.
+
+This module packages the analytic stand-in: the
+:data:`~repro.sim.perf_model.GEMMINI_LIKE` performance view (fixed IC-OC
+dataflow, im2col convolution lowering — which degenerates to a single
+systolic column on depthwise layers — partial DMA overlap, per-tile
+dispatch cost, reduced effective DRAM efficiency) plus an area/power
+estimate of the template so efficiency comparisons have a denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.energy_model import TSMC28, TechModel, sram_model
+from ..sim.perf_model import GEMMINI_LIKE
+
+__all__ = ["GEMMINI_LIKE", "GemminiEstimate", "gemmini_area_power"]
+
+
+@dataclass(frozen=True)
+class GemminiEstimate:
+    area_mm2: float
+    power_mw: float
+
+
+def gemmini_area_power(tech: TechModel = TSMC28, *, n_macs: int = 256,
+                       scratchpad_kb: float = 256.0,
+                       accumulator_kb: float = 64.0) -> GemminiEstimate:
+    """Template-level estimate of the Gemmini configuration's area/power.
+
+    A weight-stationary PE holds a weight register, a MAC, and a partial
+    sum register; the scratchpad and accumulator SRAMs dominate area just
+    as LEGO's buffers do.  The per-PE control (the template's fixed
+    dataflow needs little of it) is folded into the PE constant.
+    """
+    pe_area = (tech.mult_area_per_bit2 * 64          # 8x8 multiplier
+               + tech.adder_area_per_bit * 32        # accumulate adder
+               + tech.reg_area_per_bit * (8 + 32))   # weight + psum regs
+    pe_energy = (tech.mult_energy_per_bit2 * 64
+                 + tech.adder_energy_per_bit * 32
+                 + tech.reg_energy_per_bit * 40)
+    spad = sram_model(tech, scratchpad_kb, 128, n_banks=4)
+    acc = sram_model(tech, accumulator_kb, 128, n_banks=2)
+    area = (n_macs * pe_area + spad["area_um2"] + acc["area_um2"]) / 1e6
+    dyn = (n_macs * pe_energy * tech.freq_mhz * 1e6 * 1e-9
+           + (spad["read_pj"] + acc["read_pj"]) * 0.3
+           * tech.freq_mhz * 1e6 * 6 * 1e-9)
+    power = dyn * (1 + tech.leakage_fraction)
+    return GemminiEstimate(area_mm2=area, power_mw=power)

@@ -1,0 +1,9 @@
+"""LEGO back end: primitive-level DAG, optimization passes, RTL emission."""
+
+from .codegen import Design, generate
+from .dag import DAG, Edge
+from .passes import BackendOptions, run_backend
+from .primitives import Primitive
+
+__all__ = ["Design", "generate", "DAG", "Edge", "BackendOptions",
+           "run_backend", "Primitive"]

@@ -1,0 +1,132 @@
+"""Pass manager and the remaining DAG transformation passes (§V-D):
+bit-width inference and power gating, plus the canonical pass pipeline.
+
+The pipeline order matters: widths must be known before delay matching
+(register cost is bits, Eq. 11); reduction extraction must precede
+rewiring (it removes adder chains the LP would otherwise pipeline); pin
+reuse runs after extraction; power gating is last (it only annotates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .codegen import Design, compute_liveness
+from .delay_matching import delay_match
+from .pin_reuse import reuse_pins
+from .primitives import MAX_WIDTH
+from .reduction import extract_reduction_trees
+from .rewiring import run_rewiring
+
+__all__ = ["BackendOptions", "infer_bitwidths", "power_gate", "run_backend"]
+
+
+@dataclass(frozen=True)
+class BackendOptions:
+    """Which optional §V optimizations to run.  Delay matching itself is
+    mandatory (the design does not meet timing without it, Fig. 10)."""
+
+    reduction_tree: bool = True
+    rewiring: bool = True
+    pin_reuse: bool = True
+    power_gating: bool = True
+
+    @staticmethod
+    def baseline() -> "BackendOptions":
+        """Delay matching only — the Fig. 10/13/14 comparison baseline."""
+        return BackendOptions(False, False, False, False)
+
+
+def infer_bitwidths(design: Design) -> dict[str, int]:
+    """Propagate value-range-derived widths through the DAG (§V-D).
+
+    Widths grow monotonically and are capped, so iterating to fixpoint
+    terminates even with static cycles through FIFOs.
+    """
+    dag = design.dag
+    changed, rounds = True, 0
+    while changed and rounds < 8:
+        changed = False
+        rounds += 1
+        for nid in dag.topo_order(sequential_break=True):
+            node = dag.nodes[nid]
+            ins = dag.in_edges(nid)
+            in_w = [dag.nodes[e.src].width for e in ins]
+            w = node.width
+            if node.kind == "const":
+                value = abs(int(node.params.get("value", 0)))
+                w = max(1, value.bit_length())
+            elif node.kind == "mul" and len(in_w) >= 2:
+                w = in_w[0] + in_w[1]
+            elif node.kind in ("add", "sub", "max") and in_w:
+                w = max(in_w) + 1
+            elif node.kind == "shl" and in_w:
+                shift_max = (1 << min(in_w[1] if len(in_w) > 1 else 0, 4)) - 1
+                w = in_w[0] + shift_max
+            elif node.kind == "reducer" and in_w:
+                w = max(in_w) + max(1, math.ceil(
+                    math.log2(max(node.params.get("n_inputs", 2), 2))))
+            elif node.kind in ("mux", "wire", "fifo") and in_w:
+                w = max(in_w)
+            elif node.kind == "mem_write" and in_w:
+                w = max(in_w)
+            w = min(w, MAX_WIDTH)
+            if w != node.width:
+                node.width = w
+                changed = True
+        for e in dag.edges:
+            src_w = dag.nodes[e.src].width
+            if e.width != src_w:
+                e.width = src_w
+                changed = True
+    return {"rounds": rounds}
+
+
+def power_gate(design: Design) -> dict[str, int]:
+    """Add clock-enable gating to connections unused by some dataflows
+    (§V-D).  Purely annotative: the energy model suppresses the toggle
+    power of gated primitives when their dataflow is inactive."""
+    compute_liveness(design)
+    dag = design.dag
+    n_gated = 0
+    all_dfs = set(design.configs)
+    for nid, node in dag.nodes.items():
+        if node.kind not in ("fifo", "mul", "add", "reducer", "shl"):
+            continue
+        active_in = {name for name, cfg in design.configs.items()
+                     if nid in cfg.active_nodes}
+        if active_in and active_in != all_dfs:
+            node.params["power_gated"] = True
+            n_gated += 1
+    return {"gated_nodes": n_gated}
+
+
+def run_backend(design: Design,
+                options: BackendOptions | None = None) -> Design:
+    """Run the full backend pipeline in place; fills ``design.report``."""
+    options = options or BackendOptions()
+    report: dict = {"options": options}
+
+    report["bitwidth"] = infer_bitwidths(design)
+
+    if options.reduction_tree:
+        report["reduction"] = extract_reduction_trees(design)
+        infer_bitwidths(design)
+
+    if options.rewiring:
+        report["rewiring"] = run_rewiring(design)
+    else:
+        report["delay_matching"] = delay_match(design)
+
+    if options.pin_reuse:
+        report["pin_reuse"] = reuse_pins(design)
+
+    if options.power_gating:
+        report["power_gating"] = power_gate(design)
+
+    report["register_bits"] = (design.dag.pipeline_register_bits()
+                               + design.dag.fifo_register_bits())
+    report["dag_stats"] = design.dag.stats()
+    design.report = report
+    return design

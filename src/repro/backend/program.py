@@ -1,0 +1,102 @@
+"""Configuration-word compiler: runtime programming of a generated design.
+
+A LEGO design is reconfigured per layer by writing a small configuration
+stream: the active dataflow id, per-mux select values, per-FIFO depths,
+and per-address-generator matrices.  The paper's system-overhead analysis
+(§VI-B(e)) measures exactly this: one instruction per dispatched tile at
+tiny bandwidth.  This module compiles a
+:class:`~repro.backend.codegen.DataflowConfig` into a packed bitstream,
+can reload it, and reports its size — making the overhead claim testable
+against the real artifact instead of an estimate.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .codegen import AddrGenConfig, DataflowConfig, Design
+
+__all__ = ["ConfigWord", "compile_config", "decode_config", "config_bytes"]
+
+_MAGIC = 0x1E60
+_FMT_HEADER = "<HHI"  # magic, dataflow ordinal, payload length
+
+
+@dataclass(frozen=True)
+class ConfigWord:
+    """One field of the configuration stream."""
+
+    kind: str      # "mux" | "fifo" | "addrgen" | "meta"
+    node: int
+    payload: tuple[int, ...]
+
+
+def _addrgen_words(nid: int, agc: AddrGenConfig) -> ConfigWord:
+    flat: list[int] = [len(agc.rt), len(agc.offset)]
+    flat += list(agc.rt)
+    for row in agc.mdt:
+        flat += list(row)
+    flat += list(agc.offset)
+    flat += list(agc.dims)
+    gate = agc.gate_dt if agc.gate_dt is not None else ()
+    flat += [len(gate), *gate]
+    return ConfigWord("addrgen", nid, tuple(int(v) for v in flat))
+
+
+def compile_config(design: Design, dataflow: str) -> bytes:
+    """Pack one dataflow's runtime configuration into a bitstream."""
+    cfg = design.configs[dataflow]
+    words: list[ConfigWord] = []
+    for nid, sel in sorted(cfg.mux_select.items()):
+        words.append(ConfigWord("mux", nid, (sel,)))
+    for nid, policy in sorted(cfg.mux_policy.items()):
+        flat: list[int] = [len(policy)]
+        for pin, dt in policy:
+            dt = dt or ()
+            flat += [pin, len(dt), *dt]
+        words.append(ConfigWord("mux_policy", nid, tuple(flat)))
+    for nid in sorted(set(cfg.fifo_depth) | set(cfg.fifo_phys)):
+        depth = cfg.fifo_phys.get(nid, cfg.fifo_depth.get(nid, 0))
+        words.append(ConfigWord("fifo", nid, (depth,)))
+    for nid, agc in sorted(cfg.addrgen.items()):
+        words.append(_addrgen_words(nid, agc))
+    words.append(ConfigWord("meta", 0, (cfg.total_timestamps,
+                                        len(cfg.write_enable),
+                                        len(cfg.read_enable))))
+
+    kind_ids = {"mux": 0, "mux_policy": 1, "fifo": 2, "addrgen": 3, "meta": 4}
+    payload = bytearray()
+    for word in words:
+        payload += struct.pack("<BIH", kind_ids[word.kind], word.node,
+                               len(word.payload))
+        for value in word.payload:
+            payload += struct.pack("<i", int(value))
+    ordinal = sorted(design.configs).index(dataflow)
+    return struct.pack(_FMT_HEADER, _MAGIC, ordinal, len(payload)) + bytes(payload)
+
+
+def decode_config(blob: bytes) -> tuple[int, list[ConfigWord]]:
+    """Inverse of :func:`compile_config` (used by the loader test)."""
+    magic, ordinal, length = struct.unpack_from(_FMT_HEADER, blob, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a LEGO configuration stream")
+    offset = struct.calcsize(_FMT_HEADER)
+    if len(blob) - offset != length:
+        raise ValueError("truncated configuration stream")
+    kinds = {0: "mux", 1: "mux_policy", 2: "fifo", 3: "addrgen", 4: "meta"}
+    words: list[ConfigWord] = []
+    while offset < len(blob):
+        kind_id, node, n = struct.unpack_from("<BIH", blob, offset)
+        offset += struct.calcsize("<BIH")
+        payload = struct.unpack_from(f"<{n}i", blob, offset) if n else ()
+        offset += 4 * n
+        words.append(ConfigWord(kinds[kind_id], node, tuple(payload)))
+    return ordinal, words
+
+
+def config_bytes(design: Design) -> dict[str, int]:
+    """Configuration stream size per dataflow — the per-layer 'instruction'
+    cost of switching dataflows at runtime."""
+    return {name: len(compile_config(design, name))
+            for name in design.configs}

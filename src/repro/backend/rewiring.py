@@ -1,0 +1,113 @@
+"""Broadcast pin rewiring (paper §V-B, Fig. 8).
+
+Delay matching can leave a register pyramid behind a broadcast source
+(one register stack per destination).  The three-stage heuristic:
+
+1. re-run the LP with a *virtual* cost for broadcast out-edges (only the
+   maximum EL per source counts) — an optimistic estimate, because a
+   broadcast can always be converted into a forwarding chain;
+2. per broadcast source, run an MST over {source} ∪ destinations where a
+   source→dest edge costs that destination's latency and a dest→dest edge
+   (spatially adjacent destinations only) costs the latency *difference*;
+   rewire along the tree, materializing forwarding relays;
+3. re-run the plain LP on the rewired DAG to redistribute the remaining
+   latencies correctly.
+
+Stage 1 and 3 live in :mod:`repro.backend.delay_matching`; this module
+implements stage 2 plus the orchestration.
+"""
+
+from __future__ import annotations
+
+from .codegen import Design, compute_liveness
+from .dag import Edge
+from .delay_matching import broadcast_sources, delay_match
+
+__all__ = ["rewire_broadcasts", "run_rewiring"]
+
+
+def _adjacent(a, b) -> bool:
+    """Spatial adjacency of two placements (FU grid L-infinity distance 1)."""
+    if not (isinstance(a, tuple) and isinstance(b, tuple)) or len(a) != len(b):
+        return False
+    return max(abs(x - y) for x, y in zip(a, b)) <= 1 and a != b
+
+
+def rewire_broadcasts(design: Design, min_fanout: int = 3) -> int:
+    """Stage 2: convert broadcast trees into forwarding chains using a
+    Prim-style MST per source.  Returns the number of rewired edges."""
+    dag = design.dag
+    rewired = 0
+    for src in broadcast_sources(design):
+        outs = [e for e in dag.edges if e.src == src]
+        if len(outs) < min_fanout:
+            continue
+        # Group out-edges by destination placement; only same-pin-type
+        # destinations with spatial placements can forward to each other.
+        dests = [(e, dag.nodes[e.dst].place) for e in outs]
+        if any(not isinstance(p, tuple) for _e, p in dests):
+            continue
+        # Prim from the source over: src->dest (cost EL_e) and dest->dest
+        # (cost |EL_i - EL_j|, adjacency required).
+        in_tree: dict[int, tuple[Edge, int | None]] = {}  # idx -> (edge, parent idx)
+        remaining = set(range(len(dests)))
+        tree_order: list[int] = []
+        while remaining:
+            best = None
+            for idx in remaining:
+                e_i, p_i = dests[idx]
+                # direct from source (parent sentinel -1 sorts before ids)
+                cand = (float(e_i.el), idx, -1)
+                if best is None or cand < best:
+                    best = cand
+                for t_idx in tree_order:
+                    e_t, p_t = dests[t_idx]
+                    if _adjacent(p_i, p_t):
+                        cand = (abs(float(e_i.el - e_t.el)), idx, t_idx)
+                        if cand < best:
+                            best = cand
+            _cost, idx, parent = best
+            parent = None if parent == -1 else parent
+            in_tree[idx] = (dests[idx][0], parent)
+            tree_order.append(idx)
+            remaining.discard(idx)
+
+        # Materialize: destinations with a dest-parent get a relay chain.
+        relays: dict[int, int] = {}
+
+        def relay_of(idx: int) -> int:
+            if idx in relays:
+                return relays[idx]
+            e_i, parent = in_tree[idx]
+            relay = dag.add_node("wire", width=e_i.width,
+                                 place=dests[idx][1],
+                                 params={"role": "bcast_relay", "source": src})
+            if parent is None:
+                dag.add_edge(src, relay)
+            else:
+                dag.add_edge(relay_of(parent), relay)
+            relays[idx] = relay
+            return relay
+
+        for idx, (e_i, parent) in in_tree.items():
+            if parent is None:
+                continue  # keep the direct edge
+            relay = relay_of(idx)
+            dag.add_edge(relay, e_i.dst, e_i.dst_pin)
+            dag.remove_edge(e_i)
+            rewired += 1
+    if rewired:
+        compute_liveness(design)
+    return rewired
+
+
+def run_rewiring(design: Design) -> dict[str, float]:
+    """Full three-stage §V-B pass.  Returns combined statistics."""
+    stage1 = delay_match(design, broadcast_virtual_cost=True)
+    n_rewired = rewire_broadcasts(design)
+    stage3 = delay_match(design)
+    return {
+        "stage1_objective": stage1["objective"],
+        "edges_rewired": float(n_rewired),
+        "register_bits": stage3["register_bits"],
+    }

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   run the full flow for a named kernel/dataflow and emit
+               Verilog plus a design summary;
+``evaluate``   end-to-end model performance on a named architecture;
+``explore``    small design-space exploration with a Pareto report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import kernels
+from .backend import BackendOptions, generate, run_backend
+from .core.frontend import build_adg
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .backend.verilog import emit_verilog
+    from .report import design_summary, render_topology
+
+    p0, p1 = args.array
+    if args.kernel == "gemm":
+        wl = kernels.gemm(4 * p0, 4 * p1, 4 * max(p0, p1))
+        dfs = [kernels.gemm_dataflow(k, wl, p0, p1,
+                                     systolic=not args.broadcast)
+               for k in args.dataflows]
+    elif args.kernel == "conv2d":
+        wl = kernels.conv2d(1, 2 * p0, 2 * p1, 2 * p0, 2 * p1, 3, 3)
+        dfs = [kernels.conv2d_dataflow(k, wl, p0, p1)
+               for k in args.dataflows]
+    elif args.kernel == "mttkrp":
+        wl = kernels.mttkrp(4 * p0, 4 * p1, 2 * p0, 2 * p1)
+        dfs = [kernels.mttkrp_dataflow(k, wl, p0, p1)
+               for k in args.dataflows]
+    else:
+        print(f"unknown kernel {args.kernel!r}", file=sys.stderr)
+        return 2
+
+    options = (BackendOptions.baseline() if args.no_optimize
+               else BackendOptions())
+    design = run_backend(generate(build_adg(dfs)), options)
+    print(design_summary(design))
+    if args.topology:
+        for tensor in design.adg.tensor_names():
+            print(render_topology(design.adg, tensor, dfs[0].name))
+    if args.output:
+        rtl = emit_verilog(design, module_name=args.module)
+        with open(args.output, "w") as fh:
+            fh.write(rtl)
+        print(f"wrote {len(rtl.splitlines())} lines of Verilog to "
+              f"{args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .models import zoo
+    from .sim.perf_model import GEMMINI_LIKE, ArchPerf, evaluate_model
+
+    if args.model not in zoo.MODEL_BUILDERS:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{sorted(zoo.MODEL_BUILDERS)}", file=sys.stderr)
+        return 2
+    model = zoo.MODEL_BUILDERS[args.model]()
+    arch = (GEMMINI_LIKE if args.arch == "gemmini" else
+            ArchPerf(name="LEGO-MNICOC", dataflows=("MN", "ICOC", "OCOH")))
+    perf = evaluate_model(model, arch)
+    print(f"{args.model} on {arch.name}:")
+    print(f"  {perf.gops:8.1f} GOP/s   {perf.gops_per_watt:8.0f} GOPS/W   "
+          f"utilization {100 * perf.utilization:.1f}%")
+    stats = perf.instruction_stats()
+    print(f"  {stats['cycles_per_instruction']:.0f} cycles/instruction, "
+          f"{stats['instruction_bw_gbs'] * 1000:.1f} MB/s instruction BW")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .dse.explorer import DesignSpace, explore, pareto_front
+    from .models import zoo
+
+    models = [zoo.MODEL_BUILDERS[name]() for name in args.models]
+    points = explore(models, DesignSpace(), objective=args.objective)
+    front = pareto_front(points)
+    print(f"explored {len(points)} design points; Pareto frontier:")
+    print(f"{'design':28s}{'GOP/s':>9s}{'GOPS/W':>9s}{'EDP':>12s}")
+    for p in front:
+        print(f"{p.arch.name:28s}{p.gops:9.1f}{p.gops_per_watt:9.0f}"
+              f"{p.edp:12.3e}")
+    best = points[0]
+    print(f"\nbest by {args.objective}: {best.arch.name}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LEGO spatial accelerator generator "
+        "(HPCA'25 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an accelerator")
+    gen.add_argument("--kernel", default="gemm",
+                     choices=["gemm", "conv2d", "mttkrp"])
+    gen.add_argument("--dataflows", nargs="+", default=["KJ"])
+    gen.add_argument("--array", nargs=2, type=int, default=[8, 8],
+                     metavar=("P0", "P1"))
+    gen.add_argument("--broadcast", action="store_true",
+                     help="broadcast control (c=0) instead of systolic")
+    gen.add_argument("--no-optimize", action="store_true",
+                     help="delay matching only (the Fig. 10 baseline)")
+    gen.add_argument("--topology", action="store_true",
+                     help="print per-tensor interconnect diagrams")
+    gen.add_argument("--output", "-o", help="write Verilog here")
+    gen.add_argument("--module", default="lego_top")
+    gen.set_defaults(func=_cmd_generate)
+
+    ev = sub.add_parser("evaluate", help="evaluate a model end to end")
+    ev.add_argument("model")
+    ev.add_argument("--arch", default="lego", choices=["lego", "gemmini"])
+    ev.set_defaults(func=_cmd_evaluate)
+
+    ex = sub.add_parser("explore", help="design-space exploration")
+    ex.add_argument("--models", nargs="+", default=["ResNet50"])
+    ex.add_argument("--objective", default="edp",
+                    choices=["edp", "latency", "energy", "throughput"])
+    ex.set_defaults(func=_cmd_explore)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""LEGO core: relation-centric representation and front-end analyses."""
+
+from .affine import AffineMap, integer_nullspace, solve_integer
+from .dataflow import Dataflow, scalar_to_timestamp, timestamp_to_scalar
+from .workload import BodyOp, TensorAccess, Workload
+
+__all__ = [
+    "AffineMap", "integer_nullspace", "solve_integer",
+    "Dataflow", "timestamp_to_scalar", "scalar_to_timestamp",
+    "Workload", "TensorAccess", "BodyOp",
+]

@@ -1,0 +1,191 @@
+"""Architecture Description Graph — the front end's output IR (paper §IV/§V).
+
+The ADG describes the accelerator at the FU level: FU nodes on a spatial
+grid, direct/delay interconnections between them (tagged with the dataflow
+configurations that activate them), data nodes (FUs that exchange data with
+the memory system), the banked memory layout per tensor, and the stationary
+(temporal) reuse each dataflow exhibits.  The back end translates this into
+the primitive-level DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dataflow import Dataflow
+from .interconnect import ReuseSolution
+from .workload import Workload
+
+__all__ = ["ADGConnection", "ADGDataNode", "MemoryLayout", "ADG"]
+
+Coord = tuple[int, ...]
+
+
+@dataclass
+class ADGConnection:
+    """A physical FU-to-FU link for one tensor operand.
+
+    ``depth`` is the register/FIFO depth (0 = wire).  ``dataflows`` lists
+    the dataflow configurations that drive data over this link; a link used
+    by several dataflows is one physical wire with a mux at the sink.
+    """
+
+    tensor: str
+    src: Coord
+    dst: Coord
+    depth: int
+    kind: str  # ReuseKind.DIRECT or ReuseKind.DELAY
+    dataflows: set[str] = field(default_factory=set)
+    #: programmed FIFO depth per dataflow (a link shared by several
+    #: dataflows may need different delays at runtime — that is what makes
+    #: delay interconnections programmable FIFOs, §II)
+    depth_by_dataflow: dict[str, int] = field(default_factory=dict)
+    #: timestamp delta per dataflow; the connection carries valid data at
+    #: the destination only when ``t - dt`` is a legal timestamp (boundary
+    #: timestamps fall back to the memory system)
+    dt_by_dataflow: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def depth_for(self, dataflow: str) -> int:
+        return self.depth_by_dataflow.get(dataflow, self.depth)
+
+    def dt_for(self, dataflow: str) -> tuple[int, ...] | None:
+        """Timestamp delta under *dataflow*; None means full coverage."""
+        dt = self.dt_by_dataflow.get(dataflow)
+        if dt is None or not any(dt):
+            return None
+        return dt
+
+    @property
+    def key(self) -> tuple:
+        return (self.tensor, self.src, self.dst)
+
+
+@dataclass
+class ADGDataNode:
+    """An FU that fetches (input) or commits (output) tensor data.
+
+    ``fallback_of`` marks boundary-fallback ports: the FU's primary source
+    is a delay interconnection, and the memory port only serves the
+    timestamps the connection cannot cover (per dataflow).
+    """
+
+    tensor: str
+    fu: Coord
+    is_output: bool
+    dataflows: set[str] = field(default_factory=set)
+    fallback_of: set[str] = field(default_factory=set)
+
+
+@dataclass
+class MemoryLayout:
+    """Banked L1 layout for one tensor (paper §IV-D, Fig. 6).
+
+    ``bank_shape`` gives the per-tensor-dimension bank counts ``B_i`` and
+    ``bank_stride`` the divisors ``g_i`` so that element ``d`` lives in bank
+    ``(d_i // g_i) mod B_i`` per dimension.
+    """
+
+    tensor: str
+    bank_shape: tuple[int, ...]
+    bank_stride: tuple[int, ...]
+    n_data_nodes: int
+
+    @property
+    def n_banks(self) -> int:
+        out = 1
+        for b in self.bank_shape:
+            out *= b
+        return out
+
+    def bank_of(self, d: tuple[int, ...]) -> tuple[int, ...]:
+        if len(d) != len(self.bank_shape):
+            raise ValueError("data index rank mismatch")
+        return tuple((di // g) % b
+                     for di, g, b in zip(d, self.bank_stride, self.bank_shape))
+
+
+@dataclass
+class ADG:
+    """The complete FU-level architecture description."""
+
+    fu_shape: tuple[int, ...]
+    dataflows: list[Dataflow]
+    connections: list[ADGConnection]
+    data_nodes: list[ADGDataNode]
+    memory: dict[str, MemoryLayout]
+    stationary: dict[tuple[str, str], ReuseSolution]  # (dataflow, tensor) ->
+    workloads: list[Workload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [df.name for df in self.dataflows]
+        if len(set(names)) != len(names):
+            raise ValueError("dataflow names must be unique for fusion")
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_fus(self) -> int:
+        out = 1
+        for s in self.fu_shape:
+            out *= s
+        return out
+
+    def dataflow(self, name: str) -> Dataflow:
+        for df in self.dataflows:
+            if df.name == name:
+                return df
+        raise KeyError(name)
+
+    def connections_for(self, tensor: str | None = None,
+                        dataflow: str | None = None) -> list[ADGConnection]:
+        out = []
+        for conn in self.connections:
+            if tensor is not None and conn.tensor != tensor:
+                continue
+            if dataflow is not None and dataflow not in conn.dataflows:
+                continue
+            out.append(conn)
+        return out
+
+    def data_nodes_for(self, tensor: str, dataflow: str | None = None
+                       ) -> list[ADGDataNode]:
+        out = []
+        for node in self.data_nodes:
+            if node.tensor != tensor:
+                continue
+            if dataflow is not None and dataflow not in node.dataflows:
+                continue
+            out.append(node)
+        return out
+
+    def inputs_of(self, fu: Coord, tensor: str) -> list[ADGConnection]:
+        return [c for c in self.connections if c.dst == fu and c.tensor == tensor]
+
+    def tensor_names(self) -> list[str]:
+        seen: list[str] = []
+        for wl in self.workloads:
+            for t in wl.tensors:
+                if t.name not in seen:
+                    seen.append(t.name)
+        return seen
+
+    # -- summary statistics (used by reports, tests, and benchmarks) ------------
+
+    def stats(self) -> dict[str, int]:
+        n_delay_regs = sum(c.depth for c in self.connections)
+        n_mux_inputs = 0
+        sinks: dict[tuple, int] = {}
+        for conn in self.connections:
+            key = (conn.dst, conn.tensor)
+            sinks[key] = sinks.get(key, 0) + 1
+        n_mux_inputs = sum(v for v in sinks.values() if v > 1)
+        return {
+            "n_fus": self.n_fus,
+            "n_connections": len(self.connections),
+            "n_direct": sum(1 for c in self.connections if c.kind == "direct"),
+            "n_delay": sum(1 for c in self.connections if c.kind == "delay"),
+            "delay_registers": n_delay_regs,
+            "n_data_nodes": len(self.data_nodes),
+            "mux_inputs": n_mux_inputs,
+            "n_banks": sum(m.n_banks for m in self.memory.values()),
+        }

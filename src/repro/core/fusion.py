@@ -1,0 +1,302 @@
+"""Heuristic direct-interconnection planning for dataflow fusion (§IV-C).
+
+A multi-kernel application wants several spatial dataflows on one FU array.
+Naively merging each dataflow's minimum-spanning interconnections yields
+redundant physical links and muxes.  The BFS-based heuristic of Fig. 5
+re-plans all *direct* interconnections so different dataflows share links:
+
+1. partition the FUs of each dataflow into *chains* (maximal subgraphs
+   connectable by direct interconnections);
+2. root candidates of a chain are the FUs that receive delay
+   interconnections (they can pull data in), else every FU in the chain;
+3. plan chains longest-first; pick as root the candidate with the fewest
+   possible input direct interconnections, preferring FUs already labelled
+   with a data node (reduces distribution-switch complexity);
+4. grow the chain from the root by BFS, preferring physical links that
+   earlier (longer) chains already created — those reuse wires instead of
+   adding mux inputs;
+5. finally, delay interconnections are re-added *between chain roots*
+   (condensed arborescence per dataflow) — see
+   :func:`condensed_delay_tree`.
+
+Flow direction matters: for an input tensor, data enters at the chain root
+and flows outward along the solution deltas (whose control skew is
+non-negative by construction); for an output tensor, partial results drain
+*toward* the root along the same deltas.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dataflow import Dataflow
+from .interconnect import ReuseKind, ReuseSolution
+from .mst import Arc, min_arborescence
+
+__all__ = ["Chain", "partition_chains", "plan_direct_interconnects",
+           "condensed_delay_tree", "FusionPlan", "naive_merge_links"]
+
+Coord = tuple[int, ...]
+
+
+@dataclass
+class Chain:
+    """A maximal set of FUs connectable by direct interconnections under one
+    dataflow, for one tensor.
+
+    ``deltas`` are the admissible *flow-direction* spatial steps: for an
+    input, data moves ``u -> u + ds``; for an output, partial results move
+    ``u -> u + ds`` as well (the solution's direction is the causal one).
+    """
+
+    dataflow: str
+    tensor: str
+    members: tuple[Coord, ...]
+    root_candidates: tuple[Coord, ...]
+    deltas: tuple[tuple[int, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def _shift(coord: Coord, ds: tuple[int, ...]) -> Coord:
+    return tuple(c + d for c, d in zip(coord, ds))
+
+
+def _span_from(root: Coord, members: set[Coord],
+               deltas: tuple[tuple[int, ...], ...], forward: bool) -> bool:
+    """Can the whole chain be reached from *root* along admissible flow
+    steps?  ``forward=True`` walks with the deltas (inputs: root pushes
+    out); ``forward=False`` walks against them (outputs: root pulls in)."""
+    steps = [ds if forward else tuple(-x for x in ds) for ds in deltas]
+    reached = {root}
+    queue = deque([root])
+    while queue:
+        cur = queue.popleft()
+        for ds in steps:
+            nbr = _shift(cur, ds)
+            if nbr in members and nbr not in reached:
+                reached.add(nbr)
+                queue.append(nbr)
+    return reached == members
+
+
+def partition_chains(dataflow: Dataflow, tensor: str,
+                     solutions: list[ReuseSolution],
+                     delay_sinks: set[Coord]) -> list[Chain]:
+    """Split the FU array into direct-connectivity chains (Fig. 5 steps
+    1-3).  ``delay_sinks`` are FUs receiving delay interconnections for
+    this tensor under this dataflow (step 2's root candidates)."""
+    deltas = tuple(sol.ds for sol in solutions
+                   if sol.kind == ReuseKind.DIRECT and any(sol.ds))
+    coords = dataflow.fu_coords()
+    rs = dataflow.rs
+    adjacency: dict[Coord, list[Coord]] = {c: [] for c in coords}
+    for coord in coords:
+        for ds in deltas:
+            nbr = _shift(coord, ds)
+            if all(0 <= x < r for x, r in zip(nbr, rs)):
+                adjacency[coord].append(nbr)
+                adjacency[nbr].append(coord)
+
+    chains: list[Chain] = []
+    seen: set[Coord] = set()
+    for coord in coords:
+        if coord in seen:
+            continue
+        queue, members = deque([coord]), []
+        seen.add(coord)
+        while queue:
+            cur = queue.popleft()
+            members.append(cur)
+            for nbr in adjacency[cur]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        members.sort()
+        candidates = tuple(m for m in members if m in delay_sinks)
+        if not candidates:
+            candidates = tuple(members)  # step 3 fallback
+        chains.append(Chain(dataflow.name, tensor, tuple(members),
+                            candidates, deltas))
+    return chains
+
+
+@dataclass
+class FusionPlan:
+    """Result of the heuristic planning for one tensor across dataflows."""
+
+    tensor: str
+    #: physical directed links (src, dst) -> dataflow names driving it;
+    #: direction is the data-flow direction for this tensor.
+    links: dict[tuple[Coord, Coord], set[str]] = field(default_factory=dict)
+    #: chain roots per dataflow, in planning order
+    roots: dict[str, list[Coord]] = field(default_factory=dict)
+    #: root of each chain, keyed by (dataflow, chain members)
+    chain_root: dict[tuple[str, tuple[Coord, ...]], Coord] = field(
+        default_factory=dict)
+
+    @property
+    def n_physical_links(self) -> int:
+        return len(self.links)
+
+    @property
+    def n_logical_links(self) -> int:
+        return sum(len(v) for v in self.links.values())
+
+    def mux_inputs(self) -> int:
+        """FU input pins needing a mux (several physical sources feed the
+        same FU for this tensor)."""
+        fan_in: dict[Coord, int] = {}
+        for (_src, dst) in self.links:
+            fan_in[dst] = fan_in.get(dst, 0) + 1
+        return sum(v for v in fan_in.values() if v > 1)
+
+
+def plan_direct_interconnects(chains: list[Chain], data_nodes: set[Coord],
+                              is_output: bool = False) -> FusionPlan:
+    """Run the Fig. 5 BFS heuristic over all chains of one tensor."""
+    if not chains:
+        return FusionPlan(tensor="")
+    plan = FusionPlan(tensor=chains[0].tensor)
+    order = sorted(chains, key=lambda ch: (-len(ch), ch.dataflow, ch.members))
+    link_owner_len: dict[tuple[Coord, Coord], int] = {}
+
+    for chain in order:
+        members = set(chain.members)
+        # Root must be able to span its chain along causal flow steps.
+        spanning = [fu for fu in chain.root_candidates
+                    if _span_from(fu, members, chain.deltas, forward=not is_output)]
+        if not spanning:
+            spanning = [fu for fu in chain.members
+                        if _span_from(fu, members, chain.deltas,
+                                      forward=not is_output)]
+        if not spanning:
+            spanning = list(chain.members)
+
+        def input_degree(fu: Coord) -> int:
+            return sum(1 for (_s, d) in plan.links if d == fu)
+
+        root = min(spanning,
+                   key=lambda fu: (input_degree(fu), fu not in data_nodes, fu))
+        plan.roots.setdefault(chain.dataflow, []).append(root)
+        plan.chain_root[(chain.dataflow, chain.members)] = root
+        data_nodes.add(root)
+        if len(chain) == 1:
+            continue
+
+        # BFS outward (inputs) or inward (outputs) from the root, preferring
+        # physical links already built by earlier (longer) chains.
+        reached = {root}
+        while reached != members:
+            candidates: list[tuple[tuple[int, int, tuple], Coord, Coord]] = []
+            for cur in reached:
+                for ds in chain.deltas:
+                    if is_output:
+                        nbr = _shift(cur, tuple(-x for x in ds))
+                        link = (nbr, cur)  # partials drain nbr -> cur
+                    else:
+                        nbr = _shift(cur, ds)
+                        link = (cur, nbr)  # data pushes cur -> nbr
+                    if nbr in members and nbr not in reached:
+                        exists = link in plan.links
+                        owner_len = link_owner_len.get(link, 0)
+                        candidates.append(
+                            ((0 if exists else 1, -owner_len, link), link[0],
+                             link[1]))
+            if not candidates:
+                break  # defensive; spanning check should prevent this
+            candidates.sort(key=lambda item: item[0])
+            _key, src, dst = candidates[0]
+            plan.links.setdefault((src, dst), set()).add(chain.dataflow)
+            link_owner_len[(src, dst)] = max(link_owner_len.get((src, dst), 0),
+                                             len(chain))
+            reached.add(dst if not is_output else src)
+    return plan
+
+
+def condensed_delay_tree(dataflow: Dataflow, tensor: str, is_output: bool,
+                         chains: list[Chain], plan: FusionPlan,
+                         solutions: list[ReuseSolution],
+                         memory_cost: float
+                         ) -> tuple[list[tuple[Coord, Coord, ReuseSolution]],
+                                    list[Coord]]:
+    """Re-add delay interconnections *between chain roots* (§IV-C last
+    paragraph) for one dataflow, choosing the cheapest spanning set.
+
+    Chains are condensed to single nodes.  For an input tensor, a delay
+    solution ``u -> u + ds`` whose target is the *root* of another chain is
+    an admissible inter-chain arc (the root then pushes the data through
+    its chain).  For an output tensor, the *root* of a chain drains it, so
+    arcs start at roots.  A virtual memory node completes the arborescence;
+    chains it feeds get a data node at their root.
+
+    Returns ``(delay_edges, data_node_roots)`` with concrete FU-level delay
+    edges in data-flow direction.
+    """
+    mine = [ch for ch in chains if ch.dataflow == dataflow.name]
+    if not mine:
+        return [], []
+    chain_idx: dict[Coord, int] = {}
+    for idx, chain in enumerate(mine):
+        for fu in chain.members:
+            chain_idx[fu] = idx
+    roots = [plan.chain_root[(chain.dataflow, chain.members)] for chain in mine]
+
+    rs = dataflow.rs
+    delay_sols = [s for s in solutions if s.kind == ReuseKind.DELAY]
+    # Best concrete arc per chain pair.
+    best: dict[tuple[int, int], tuple[float, Coord, Coord, ReuseSolution]] = {}
+    for sol in delay_sols:
+        ds = sol.ds
+        for src_idx, chain in enumerate(mine):
+            candidates = chain.members if not is_output else (roots[src_idx],)
+            for u in candidates:
+                v = _shift(u, ds)
+                if not all(0 <= x < r for x, r in zip(v, rs)):
+                    continue
+                dst_idx = chain_idx[v]
+                if dst_idx == src_idx:
+                    continue
+                if not is_output and v != roots[dst_idx]:
+                    continue
+                key = (src_idx, dst_idx)
+                cost = (float(sol.depth)
+                        + (1.0 - sol.coverage(dataflow.rt)) * memory_cost)
+                if key not in best or cost < best[key][0]:
+                    best[key] = (cost, u, v, sol)
+
+    n = len(mine) + 1  # node 0 is the virtual memory root
+    arcs = [Arc(0, i + 1, memory_cost, payload=None) for i in range(len(mine))]
+    for (src_idx, dst_idx), (cost, u, v, sol) in best.items():
+        if is_output:
+            arcs.append(Arc(dst_idx + 1, src_idx + 1, cost, payload=(u, v, sol)))
+        else:
+            arcs.append(Arc(src_idx + 1, dst_idx + 1, cost, payload=(u, v, sol)))
+    chosen = min_arborescence(n, arcs, root=0)
+    if chosen is None:  # pragma: no cover - memory arcs guarantee feasibility
+        raise RuntimeError("condensed delay arborescence infeasible")
+
+    delay_edges: list[tuple[Coord, Coord, ReuseSolution]] = []
+    data_roots: list[Coord] = []
+    for arc in chosen:
+        if arc.src == 0:
+            data_roots.append(roots[arc.dst - 1])
+        else:
+            u, v, sol = arc.payload  # type: ignore[misc]
+            delay_edges.append((u, v, sol))
+    return delay_edges, data_roots
+
+
+def naive_merge_links(per_dataflow_links: dict[str, list[tuple[Coord, Coord]]]
+                      ) -> dict[tuple[Coord, Coord], set[str]]:
+    """The baseline §IV-C argues against: union per-dataflow MST links,
+    multiplexing wherever they disagree."""
+    merged: dict[tuple[Coord, Coord], set[str]] = {}
+    for name, links in per_dataflow_links.items():
+        for link in links:
+            merged.setdefault(link, set()).add(name)
+    return merged

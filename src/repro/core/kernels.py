@@ -1,0 +1,257 @@
+"""Builders for the tensor kernels evaluated in the paper (§VI-A).
+
+GEMM, Conv2D (plus the depthwise variant), Attention (its two tensor
+contractions; softmax runs on the PPU), MTTKRP, and the BitFusion-style
+mixed-precision GEMM used to illustrate user-defined FUs (§II).
+
+Each builder returns a :class:`~repro.core.workload.Workload`; the
+``*_dataflow`` helpers construct the named spatial dataflows that appear in
+the evaluation (e.g. ``GEMM-KJ`` is the TPU-like k/j-parallel systolic
+schedule of Fig. 3, ``Conv2d-OHOW`` is the ShiDianNao schedule of Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .affine import AffineMap
+from .dataflow import Dataflow
+from .workload import BodyOp, TensorAccess, Workload
+
+__all__ = [
+    "gemm", "conv2d", "depthwise_conv2d", "attention_qk", "attention_pv",
+    "mttkrp", "bitfusion_gemm", "gemm_dataflow", "conv2d_dataflow",
+    "mttkrp_dataflow", "KERNEL_DATAFLOW_NAMES",
+]
+
+
+def _mapping(dims: tuple[str, ...], rows: list[dict[str, int]],
+             bias: list[int] | None = None) -> AffineMap:
+    """Build an affine map from sparse per-row coefficient dicts."""
+    m = np.zeros((len(rows), len(dims)), dtype=np.int64)
+    for r, row in enumerate(rows):
+        for dim, coeff in row.items():
+            m[r, dims.index(dim)] = coeff
+    return AffineMap.from_arrays(m, bias)
+
+
+def gemm(m: int = 64, n: int = 64, k: int = 64, *,
+         in_bits: int = 8, acc_bits: int = 32) -> Workload:
+    """``Y[i, j] += X[i, k] * W[k, j]`` — the Fig. 3 running example."""
+    dims = ("i", "j", "k")
+    return Workload(
+        name="gemm",
+        dims=dims,
+        bounds={"i": m, "j": n, "k": k},
+        tensors=(
+            TensorAccess("X", _mapping(dims, [{"i": 1}, {"k": 1}]), dtype_bits=in_bits),
+            TensorAccess("W", _mapping(dims, [{"k": 1}, {"j": 1}]), dtype_bits=in_bits),
+            TensorAccess("Y", _mapping(dims, [{"i": 1}, {"j": 1}]),
+                         is_output=True, dtype_bits=acc_bits),
+        ),
+        body=(BodyOp("mul", "p", ("X", "W")), BodyOp("add_acc", "Y", ("p",))),
+    )
+
+
+def conv2d(n: int = 1, oc: int = 64, ic: int = 64, oh: int = 16, ow: int = 16,
+           kh: int = 3, kw: int = 3, *, stride: int = 1, in_bits: int = 8,
+           acc_bits: int = 32) -> Workload:
+    """2-D convolution — the Fig. 4 running example (unit stride), plus
+    strided variants (the affine representation absorbs the stride as a
+    coefficient, no special casing anywhere downstream).
+
+    ``Y[n,oc,oh,ow] += X[n,ic,s*oh+kh-1,s*ow+kw-1] * W[oc,ic,kh,kw]`` with
+    the paper's (-1, -1) input bias ("same" padding origin).
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    dims = ("n", "oc", "ic", "oh", "ow", "kh", "kw")
+    return Workload(
+        name="conv2d" if stride == 1 else f"conv2d_s{stride}",
+        dims=dims,
+        bounds={"n": n, "oc": oc, "ic": ic, "oh": oh, "ow": ow, "kh": kh, "kw": kw},
+        tensors=(
+            TensorAccess("X", _mapping(
+                dims,
+                [{"n": 1}, {"ic": 1}, {"oh": stride, "kh": 1},
+                 {"ow": stride, "kw": 1}],
+                bias=[0, 0, -1, -1]), dtype_bits=in_bits),
+            TensorAccess("W", _mapping(
+                dims, [{"oc": 1}, {"ic": 1}, {"kh": 1}, {"kw": 1}]),
+                dtype_bits=in_bits),
+            TensorAccess("Y", _mapping(
+                dims, [{"n": 1}, {"oc": 1}, {"oh": 1}, {"ow": 1}]),
+                is_output=True, dtype_bits=acc_bits),
+        ),
+        body=(BodyOp("mul", "p", ("X", "W")), BodyOp("add_acc", "Y", ("p",))),
+    )
+
+
+def depthwise_conv2d(n: int = 1, c: int = 64, oh: int = 16, ow: int = 16,
+                     kh: int = 3, kw: int = 3) -> Workload:
+    """Depthwise conv: each channel convolved independently (MobileNet)."""
+    dims = ("n", "c", "oh", "ow", "kh", "kw")
+    return Workload(
+        name="dwconv2d",
+        dims=dims,
+        bounds={"n": n, "c": c, "oh": oh, "ow": ow, "kh": kh, "kw": kw},
+        tensors=(
+            TensorAccess("X", _mapping(
+                dims, [{"n": 1}, {"c": 1}, {"oh": 1, "kh": 1}, {"ow": 1, "kw": 1}],
+                bias=[0, 0, -1, -1])),
+            TensorAccess("W", _mapping(dims, [{"c": 1}, {"kh": 1}, {"kw": 1}])),
+            TensorAccess("Y", _mapping(
+                dims, [{"n": 1}, {"c": 1}, {"oh": 1}, {"ow": 1}]),
+                is_output=True, dtype_bits=32),
+        ),
+        body=(BodyOp("mul", "p", ("X", "W")), BodyOp("add_acc", "Y", ("p",))),
+    )
+
+
+def attention_qk(heads: int = 12, q_len: int = 16, k_len: int = 16,
+                 d_head: int = 64) -> Workload:
+    """Attention score contraction ``S[h,q,k] += Q[h,q,d] * K[h,k,d]``.
+
+    The softmax over ``k`` runs on the post-processing unit (§II); the FU
+    array sees two batched GEMM-like contractions (this one and
+    :func:`attention_pv`).
+    """
+    dims = ("h", "q", "k", "d")
+    return Workload(
+        name="attention_qk",
+        dims=dims,
+        bounds={"h": heads, "q": q_len, "k": k_len, "d": d_head},
+        tensors=(
+            TensorAccess("Q", _mapping(dims, [{"h": 1}, {"q": 1}, {"d": 1}])),
+            TensorAccess("K", _mapping(dims, [{"h": 1}, {"k": 1}, {"d": 1}])),
+            TensorAccess("S", _mapping(dims, [{"h": 1}, {"q": 1}, {"k": 1}]),
+                         is_output=True, dtype_bits=32),
+        ),
+        body=(BodyOp("mul", "p", ("Q", "K")), BodyOp("add_acc", "S", ("p",))),
+    )
+
+
+def attention_pv(heads: int = 12, q_len: int = 16, k_len: int = 16,
+                 d_head: int = 64) -> Workload:
+    """Attention output contraction ``O[h,q,d] += P[h,q,k] * V[h,k,d]``."""
+    dims = ("h", "q", "k", "d")
+    return Workload(
+        name="attention_pv",
+        dims=dims,
+        bounds={"h": heads, "q": q_len, "k": k_len, "d": d_head},
+        tensors=(
+            TensorAccess("P", _mapping(dims, [{"h": 1}, {"q": 1}, {"k": 1}])),
+            TensorAccess("V", _mapping(dims, [{"h": 1}, {"k": 1}, {"d": 1}])),
+            TensorAccess("O", _mapping(dims, [{"h": 1}, {"q": 1}, {"d": 1}]),
+                         is_output=True, dtype_bits=32),
+        ),
+        body=(BodyOp("mul", "p", ("P", "V")), BodyOp("add_acc", "O", ("p",))),
+    )
+
+
+def mttkrp(i: int = 32, j: int = 32, k: int = 16, l: int = 16) -> Workload:
+    """Matricized tensor times Khatri-Rao product.
+
+    ``Y[i,j] += A[i,k,l] * B[k,j] * C[l,j]`` — the bottleneck of ALS tensor
+    factorization.  The loop body has two chained multiplies, exercising
+    multi-multiplier FUs in the backend.
+    """
+    dims = ("i", "j", "k", "l")
+    return Workload(
+        name="mttkrp",
+        dims=dims,
+        bounds={"i": i, "j": j, "k": k, "l": l},
+        tensors=(
+            TensorAccess("A", _mapping(dims, [{"i": 1}, {"k": 1}, {"l": 1}])),
+            TensorAccess("B", _mapping(dims, [{"k": 1}, {"j": 1}])),
+            TensorAccess("C", _mapping(dims, [{"l": 1}, {"j": 1}])),
+            TensorAccess("Y", _mapping(dims, [{"i": 1}, {"j": 1}]),
+                         is_output=True, dtype_bits=32),
+        ),
+        body=(
+            BodyOp("mul", "p0", ("A", "B")),
+            BodyOp("mul", "p1", ("p0", "C")),
+            BodyOp("add_acc", "Y", ("p1",)),
+        ),
+    )
+
+
+def bitfusion_gemm(m: int = 32, n: int = 32, k: int = 32) -> Workload:
+    """Mixed-precision GEMM with a BitFusion-style 2-bit mult-shift-add FU:
+    ``Y += (A * B) << C`` (§II, user-defined FU example)."""
+    dims = ("i", "j", "k")
+    return Workload(
+        name="bitfusion_gemm",
+        dims=dims,
+        bounds={"i": m, "j": n, "k": k},
+        tensors=(
+            TensorAccess("A", _mapping(dims, [{"i": 1}, {"k": 1}]), dtype_bits=2),
+            TensorAccess("B", _mapping(dims, [{"k": 1}, {"j": 1}]), dtype_bits=2),
+            TensorAccess("C", _mapping(dims, [{"k": 1}]), dtype_bits=4),
+            TensorAccess("Y", _mapping(dims, [{"i": 1}, {"j": 1}]),
+                         is_output=True, dtype_bits=32),
+        ),
+        body=(
+            BodyOp("mul", "p", ("A", "B")),
+            BodyOp("shl", "q", ("p", "C")),
+            BodyOp("add_acc", "Y", ("q",)),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Named dataflows from the evaluation (Figs. 10, 13, 14).
+# ---------------------------------------------------------------------------
+
+def gemm_dataflow(kind: str, workload: Workload, p0: int = 4, p1: int = 4,
+                  systolic: bool = True) -> Dataflow:
+    """Named GEMM dataflows: ``IJ``, ``IK``, ``KJ`` (Fig. 3 is ``KJ``)."""
+    control = (1, 1) if systolic else (0, 0)
+    pairs = {"IJ": ("i", "j"), "IK": ("i", "k"), "KJ": ("k", "j")}
+    if kind not in pairs:
+        raise ValueError(f"unknown GEMM dataflow {kind!r}; expected {sorted(pairs)}")
+    a, b = pairs[kind]
+    return Dataflow.build(workload, spatial=[(a, p0), (b, p1)],
+                          control=control, name=f"GEMM-{kind}")
+
+
+def conv2d_dataflow(kind: str, workload: Workload, p0: int = 4,
+                    p1: int = 4, systolic: bool | None = None) -> Dataflow:
+    """Named Conv2D dataflows: ``OHOW`` (ShiDianNao, Fig. 4), ``ICOC``,
+    ``KHOH`` (Eyeriss row-stationary-like), ``OCOH`` (AutoSA comparison).
+
+    ``systolic`` overrides the default control style (OHOW broadcasts,
+    the channel-parallel dataflows default to systolic control).
+    """
+    pairs = {"OHOW": ("oh", "ow"), "ICOC": ("ic", "oc"),
+             "KHOH": ("kh", "oh"), "OCOH": ("oc", "oh")}
+    if kind not in pairs:
+        raise ValueError(f"unknown Conv2D dataflow {kind!r}; expected {sorted(pairs)}")
+    a, b = pairs[kind]
+    if systolic is None:
+        systolic = kind != "OHOW"
+    control = (1, 1) if systolic else (0, 0)
+    return Dataflow.build(workload, spatial=[(a, p0), (b, p1)],
+                          control=control, name=f"Conv2d-{kind}")
+
+
+def mttkrp_dataflow(kind: str, workload: Workload, p0: int = 4,
+                    p1: int = 4, systolic: bool = True) -> Dataflow:
+    """Named MTTKRP dataflows: ``IJ`` and ``KJ``."""
+    pairs = {"IJ": ("i", "j"), "KJ": ("k", "j")}
+    if kind not in pairs:
+        raise ValueError(f"unknown MTTKRP dataflow {kind!r}; expected {sorted(pairs)}")
+    a, b = pairs[kind]
+    control = (1, 1) if systolic else (0, 0)
+    return Dataflow.build(workload, spatial=[(a, p0), (b, p1)],
+                          control=control, name=f"MTTKRP-{kind}")
+
+
+#: The eleven kernel-dataflow configurations of Figs. 10/13/14.  ``-MJ`` /
+#: ``-MN`` names denote runtime-switchable (fused) dataflow pairs.
+KERNEL_DATAFLOW_NAMES = (
+    "Attention",
+    "Conv2d-ICOC", "Conv2d-MNICOC", "Conv2d-OHOW",
+    "GEMM-IJ", "GEMM-IK", "GEMM-KJ", "GEMM-MJ",
+    "MTTKRP-IJ", "MTTKRP-KJ", "MTTKRP-MJ",
+)

@@ -1,0 +1,159 @@
+"""Minimum spanning arborescence (Tarjan's Chu-Liu/Edmonds, paper §IV-B).
+
+The reuse edges found by the interconnection analysis are usually
+excessive: an FU may have several candidate data sources.  To guarantee a
+single valid source per tensor operand per FU, LEGO computes a minimum
+spanning arborescence of the directed reuse graph, with edge cost equal to
+the delay-FIFO depth, so the register cost of delay connections is what is
+minimized.  Roots of the resulting trees are labelled *data nodes*
+(they fetch from / commit to memory).
+
+Implemented from scratch (recursive cycle-contraction formulation); the
+test suite cross-checks it against ``networkx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+__all__ = ["Arc", "min_arborescence", "spanning_forest_with_memory_root"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A weighted directed edge with an opaque payload (e.g. a ReuseEdge)."""
+
+    src: int
+    dst: int
+    weight: float
+    payload: object = None
+
+
+def min_arborescence(n_nodes: int, arcs: Sequence[Arc],
+                     root: int) -> list[Arc] | None:
+    """Minimum-cost arborescence rooted at *root* covering all nodes.
+
+    Returns the chosen arcs (one incoming arc per non-root node) or ``None``
+    when some node is unreachable from *root*.
+    """
+    if not 0 <= root < n_nodes:
+        raise ValueError("root out of range")
+    for arc in arcs:
+        if not (0 <= arc.src < n_nodes and 0 <= arc.dst < n_nodes):
+            raise ValueError(f"arc endpoints out of range: {arc}")
+    return _solve([a for a in arcs if a.src != a.dst], n_nodes, root)
+
+
+def _solve(arcs: list[Arc], n: int, root: int) -> list[Arc] | None:
+    # Pick the cheapest incoming arc per non-root node.
+    best: list[Arc | None] = [None] * n
+    for arc in arcs:
+        if arc.dst == root:
+            continue
+        cur = best[arc.dst]
+        if cur is None or arc.weight < cur.weight:
+            best[arc.dst] = arc
+    for v in range(n):
+        if v != root and best[v] is None:
+            return None
+
+    # Find cycles among the selected arcs.
+    comp = [-1] * n      # strongly-contracted component id
+    visited = [-1] * n   # walk marker
+    n_comp = 0
+    has_cycle = False
+    for start in range(n):
+        if visited[start] != -1:
+            continue
+        path = []
+        v = start
+        while v != -1 and visited[v] == -1:
+            visited[v] = start
+            path.append(v)
+            v = best[v].src if (v != root and best[v] is not None) else -1
+        if v != -1 and visited[v] == start and comp[v] == -1:
+            # Found a new cycle: everything from v onwards in `path`.
+            cycle_start = path.index(v)
+            for u in path[cycle_start:]:
+                comp[u] = n_comp
+            n_comp += 1
+            has_cycle = True
+        # Nodes on the path but not in a cycle get singleton ids later.
+    if not has_cycle:
+        return [best[v] for v in range(n) if v != root]  # type: ignore[misc]
+
+    for v in range(n):
+        if comp[v] == -1:
+            comp[v] = n_comp
+            n_comp += 1
+
+    # Contract: rebuild arcs between components; arcs entering a cycle
+    # component are discounted by the cycle arc they would displace.
+    new_arcs: list[Arc] = []
+    for arc in arcs:
+        cu, cv = comp[arc.src], comp[arc.dst]
+        if cu == cv:
+            continue
+        weight = arc.weight
+        sel = best[arc.dst] if arc.dst != root else None
+        in_cycle = sel is not None and comp[sel.src] == comp[arc.dst]
+        if in_cycle:
+            weight -= sel.weight
+        new_arcs.append(Arc(cu, cv, weight, payload=arc))
+
+    sub = _solve(new_arcs, n_comp, comp[root])
+    if sub is None:
+        return None
+
+    # Expand: each chosen contracted arc maps back to an original arc and
+    # "enters" its destination node, displacing that node's selected cycle
+    # arc.  Every other non-root node keeps its selected best arc (for
+    # cycle nodes these are the remaining cycle arcs; non-cycle components
+    # are singletons and are always entered exactly once).
+    chosen: list[Arc] = []
+    entered: set[int] = set()
+    for meta in sub:
+        orig: Arc = meta.payload  # type: ignore[assignment]
+        chosen.append(orig)
+        entered.add(orig.dst)
+    for v in range(n):
+        if v == root or v in entered:
+            continue
+        arc = best[v]
+        assert arc is not None
+        chosen.append(arc)
+    if len(chosen) != n - 1:
+        return None
+    return chosen
+
+
+def spanning_forest_with_memory_root(
+        nodes: Sequence[Hashable], arcs: Sequence[tuple[Hashable, Hashable, float, object]],
+        memory_cost: float) -> tuple[list[tuple[Hashable, Hashable, object]], list[Hashable]]:
+    """Solve the §IV-B problem: span every FU with reuse edges, falling back
+    to memory fetches.
+
+    A virtual memory root with arcs of ``memory_cost`` to every node is
+    added; the arborescence then decides which FUs become *data nodes*
+    (fetch from memory) and which receive data via FU interconnections.
+
+    Returns ``(tree_edges, data_nodes)`` where ``tree_edges`` are
+    ``(src, dst, payload)`` FU-to-FU connections.
+    """
+    index = {node: i + 1 for i, node in enumerate(nodes)}
+    all_arcs = [Arc(0, i + 1, memory_cost, payload=None) for i in range(len(nodes))]
+    for src, dst, weight, payload in arcs:
+        all_arcs.append(Arc(index[src], index[dst], weight, payload=payload))
+    chosen = min_arborescence(len(nodes) + 1, all_arcs, root=0)
+    if chosen is None:
+        raise RuntimeError("arborescence infeasible despite memory root")
+    rev = {i: node for node, i in index.items()}
+    tree_edges: list[tuple[Hashable, Hashable, object]] = []
+    data_nodes: list[Hashable] = []
+    for arc in chosen:
+        if arc.src == 0:
+            data_nodes.append(rev[arc.dst])
+        else:
+            tree_edges.append((rev[arc.src], rev[arc.dst], arc.payload))
+    return tree_edges, data_nodes

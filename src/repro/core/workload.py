@@ -1,0 +1,180 @@
+"""Workload representation: tensor operations as loop nests (paper §III-A).
+
+A tensor workload is described *hardware-agnostically* by
+
+* the computation iteration domain ``I`` (named dimensions with bounds),
+* one affine *data mapping* per tensor  ``d = M_{I->D} @ i + b``
+  (Definition 1 in the paper), and
+* the computation in the loop body, expressed over a tiny op vocabulary
+  that maps one-to-one onto backend primitives (``mul``, ``add``, ``shl``,
+  ``mac`` …).
+
+Example (GEMM ``Y[i,j] += X[i,k] * W[k,j]``)::
+
+    wl = Workload(
+        name="gemm",
+        dims=("i", "j", "k"),
+        bounds={"i": 64, "j": 64, "k": 64},
+        tensors=(
+            TensorAccess("X", AffineMap.from_arrays([[1,0,0],[0,0,1]])),
+            TensorAccess("W", AffineMap.from_arrays([[0,0,1],[0,1,0]])),
+            TensorAccess("Y", AffineMap.from_arrays([[1,0,0],[0,1,0]]),
+                         is_output=True),
+        ),
+        body=(BodyOp("mul", "p", ("X", "W")), BodyOp("add_acc", "Y", ("p",))),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .affine import AffineMap
+
+__all__ = ["TensorAccess", "BodyOp", "Workload"]
+
+_VALID_OPS = {"mul", "add", "sub", "shl", "shr", "add_acc", "max_acc", "pass"}
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """A tensor operand and its affine data mapping from the iteration domain."""
+
+    name: str
+    mapping: AffineMap
+    is_output: bool = False
+    dtype_bits: int = 8
+
+    @property
+    def rank(self) -> int:
+        return self.mapping.n_out
+
+
+@dataclass(frozen=True)
+class BodyOp:
+    """One operation of the loop body.
+
+    ``dst`` names either an intermediate value or an output tensor.
+    ``srcs`` name tensors, intermediates, or previously-defined values.
+    ``add_acc`` accumulates into an output tensor (``Y += src``);
+    ``max_acc`` is the max-reduction analogue (used by pooling/softmax).
+    """
+
+    op: str
+    dst: str
+    srcs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown body op {self.op!r}; valid: {sorted(_VALID_OPS)}")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A tensor operation written as a (par)for-loop nest over domain ``I``."""
+
+    name: str
+    dims: tuple[str, ...]
+    bounds: dict[str, int] = field(hash=False)
+    tensors: tuple[TensorAccess, ...] = ()
+    body: tuple[BodyOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError("iteration dims must be unique")
+        missing = [d for d in self.dims if d not in self.bounds]
+        if missing:
+            raise ValueError(f"bounds missing for dims {missing}")
+        for d, bound in self.bounds.items():
+            if d not in self.dims:
+                raise ValueError(f"bound given for unknown dim {d!r}")
+            if bound <= 0:
+                raise ValueError(f"bound for {d!r} must be positive, got {bound}")
+        names = [t.name for t in self.tensors]
+        if len(set(names)) != len(names):
+            raise ValueError("tensor names must be unique")
+        for t in self.tensors:
+            if t.mapping.n_in != len(self.dims):
+                raise ValueError(
+                    f"tensor {t.name!r} mapping consumes {t.mapping.n_in} dims, "
+                    f"workload has {len(self.dims)}")
+        if not any(t.is_output for t in self.tensors):
+            raise ValueError("workload needs at least one output tensor")
+        defined = {t.name for t in self.tensors if not t.is_output}
+        outputs = {t.name for t in self.tensors if t.is_output}
+        for op in self.body:
+            for src in op.srcs:
+                if src not in defined and src not in outputs:
+                    raise ValueError(f"body op reads undefined value {src!r}")
+            if op.op in ("add_acc", "max_acc"):
+                if op.dst not in outputs:
+                    raise ValueError(
+                        f"accumulation target {op.dst!r} must be an output tensor")
+            defined.add(op.dst)
+        for out in outputs:
+            if not any(op.dst == out for op in self.body):
+                raise ValueError(f"output tensor {out!r} is never written by the body")
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    def dim_index(self, dim: str) -> int:
+        return self.dims.index(dim)
+
+    def tensor(self, name: str) -> TensorAccess:
+        for t in self.tensors:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    @property
+    def inputs(self) -> tuple[TensorAccess, ...]:
+        return tuple(t for t in self.tensors if not t.is_output)
+
+    @property
+    def outputs(self) -> tuple[TensorAccess, ...]:
+        return tuple(t for t in self.tensors if t.is_output)
+
+    def reduction_dims(self) -> tuple[str, ...]:
+        """Dims that do not index any output tensor (reduced away)."""
+        reduced = []
+        for idx, dim in enumerate(self.dims):
+            if all(not out.mapping.m[:, idx].any() for out in self.outputs):
+                reduced.append(dim)
+        return tuple(reduced)
+
+    def bound_vector(self) -> np.ndarray:
+        return np.array([self.bounds[d] for d in self.dims], dtype=np.int64)
+
+    def total_ops(self) -> int:
+        """MAC-equivalent operation count: 2 ops (mul+add) per iteration point
+        per multiply in the body — the GOP accounting the paper uses."""
+        iters = int(np.prod(self.bound_vector()))
+        muls = sum(1 for op in self.body if op.op == "mul") or 1
+        return 2 * muls * iters
+
+    def tensor_footprint(self, name: str) -> int:
+        """Number of distinct elements of tensor *name* the workload touches.
+
+        Computed from the affine image of the iteration domain; exact for
+        the mappings used here (each tensor dim is an affine combination of
+        iteration dims with non-negative coefficients).
+        """
+        t = self.tensor(name)
+        m, b = t.mapping.m, t.mapping.b
+        size = 1
+        for row in m:
+            lo = hi = 0
+            for coeff, dim in zip(row, self.dims):
+                extent = self.bounds[dim] - 1
+                if coeff > 0:
+                    hi += coeff * extent
+                elif coeff < 0:
+                    lo += coeff * extent
+            size *= int(hi - lo + 1)
+        return size

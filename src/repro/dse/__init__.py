@@ -1,0 +1,6 @@
+"""Design-space exploration on top of the LEGO models."""
+
+from .explorer import DesignPoint, DesignSpace, explore, generate_winner, pareto_front
+
+__all__ = ["DesignPoint", "DesignSpace", "explore", "pareto_front",
+           "generate_winner"]

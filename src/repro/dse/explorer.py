@@ -1,0 +1,138 @@
+"""Design-space exploration on top of the LEGO models (paper §VII-a).
+
+LEGO is explicitly positioned to run *in series* with DSE frameworks
+(Timeloop, MAESTRO, NAAS, MAGNET): the DSE tool searches the architecture
+space using fast models, and LEGO generates the RTL of the winner.  This
+module provides that loop locally: an exhaustive/random explorer over
+array shapes, buffer sizes, and dataflow sets, scored with the same
+performance/energy models the rest of the reproduction uses, with a
+Pareto frontier and a one-call handoff to the generator.
+
+The paper's closing §VI-B(f) data point — generating the Timeloop-searched
+Eyeriss-resource design cuts power 9% at equal latency — is reproduced in
+``benchmarks/bench_dse_timeloop.py`` using this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from ..sim.perf_model import ArchPerf, evaluate_model
+
+__all__ = ["DesignPoint", "DesignSpace", "explore", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated architecture candidate."""
+
+    arch: ArchPerf
+    gops: float
+    gops_per_watt: float
+    cycles: float
+    energy_pj: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (the classic DSE objective)."""
+        return self.energy_pj * self.cycles
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The searchable axes.  Cartesian product, optionally subsampled."""
+
+    arrays: tuple[tuple[int, int], ...] = ((8, 8), (16, 16), (8, 32), (32, 8))
+    buffer_kb: tuple[float, ...] = (128.0, 256.0, 512.0)
+    dram_gbps: tuple[float, ...] = (16.0,)
+    dataflow_sets: tuple[tuple[str, ...], ...] = (
+        ("ICOC",), ("MN",), ("MN", "ICOC"), ("MN", "ICOC", "OCOH"))
+    freq_mhz: float = 1000.0
+
+    def points(self):
+        for array, buf, bw, dfs in itertools.product(
+                self.arrays, self.buffer_kb, self.dram_gbps,
+                self.dataflow_sets):
+            name = (f"lego_{array[0]}x{array[1]}_{int(buf)}kb_"
+                    + "".join(d[0] for d in dfs))
+            yield ArchPerf(name=name, array=array, buffer_kb=buf,
+                           dram_gbps=bw, freq_mhz=self.freq_mhz,
+                           dataflows=dfs)
+
+    def size(self) -> int:
+        return (len(self.arrays) * len(self.buffer_kb)
+                * len(self.dram_gbps) * len(self.dataflow_sets))
+
+
+def explore(models, space: DesignSpace | None = None,
+            objective: str = "edp",
+            area_budget_mm2: float | None = None,
+            tech=None) -> list[DesignPoint]:
+    """Evaluate every point of *space* on *models* (a list of zoo models);
+    returns points sorted best-first by *objective*
+    (``edp`` | ``latency`` | ``energy`` | ``throughput``).
+    """
+    from ..sim.energy_model import TSMC28, sram_model
+
+    space = space or DesignSpace()
+    tech = tech or TSMC28
+    points: list[DesignPoint] = []
+    for arch in space.points():
+        if area_budget_mm2 is not None:
+            # Cheap screen: MACs + SRAM must fit the budget.
+            mac_area = arch.n_fus * tech.mult_area_per_bit2 * 64
+            sram_area = sram_model(tech, arch.buffer_kb, 64, 16)["area_um2"]
+            if (mac_area + sram_area) / 1e6 > area_budget_mm2:
+                continue
+        cycles = energy = ops = 0.0
+        for model in models:
+            perf = evaluate_model(model, arch, tech)
+            cycles += perf.total_cycles
+            energy += perf.total_energy_pj
+            ops += perf.total_ops
+        seconds = cycles / (arch.freq_mhz * 1e6)
+        gops = ops / seconds / 1e9 if seconds else 0.0
+        watts = energy * 1e-12 / seconds if seconds else 1.0
+        points.append(DesignPoint(arch=arch, gops=gops,
+                                  gops_per_watt=gops / watts if watts else 0.0,
+                                  cycles=cycles, energy_pj=energy))
+    keys = {
+        "edp": lambda p: p.edp,
+        "latency": lambda p: p.cycles,
+        "energy": lambda p: p.energy_pj,
+        "throughput": lambda p: -p.gops,
+    }
+    if objective not in keys:
+        raise ValueError(f"unknown objective {objective!r}; "
+                         f"expected {sorted(keys)}")
+    return sorted(points, key=keys[objective])
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Latency/energy Pareto-optimal subset, sorted by latency."""
+    front: list[DesignPoint] = []
+    for p in sorted(points, key=lambda q: (q.cycles, q.energy_pj)):
+        if not front or p.energy_pj < front[-1].energy_pj - 1e-9:
+            front.append(p)
+    return front
+
+
+def generate_winner(point: DesignPoint, **build_kwargs):
+    """Hand the DSE winner to the generator (the paper's §VII-a loop)."""
+    from ..arch.accelerator import AcceleratorSpec, build
+
+    dfs = point.arch.dataflows
+    conv = tuple(d for d in ("ICOC", "OHOW", "KHOH", "OCOH") if d in dfs)
+    if "MN" in dfs and "OHOW" not in conv:
+        conv = conv + ("OHOW",)
+    spec = AcceleratorSpec(
+        name=point.arch.name,
+        array=point.arch.array,
+        buffer_kb=point.arch.buffer_kb,
+        dram_gbps=point.arch.dram_gbps,
+        conv_dataflows=conv or ("ICOC",),
+        gemm_dataflows=("IJ",) if "MN" in dfs else (),
+    )
+    return build(spec, **build_kwargs)

@@ -1,0 +1,70 @@
+"""Per-layer mapping search (paper §VI-A: "a simple mapping search tool
+that identifies the best mapping (i.e., dataflow and tiling) for every
+neural network layer based on the simulated #cycles and energy").
+
+The search space is the cross product of the hardware's switchable
+spatial dataflows with the L1 tilings; the cost model is the front-end
+performance simulator.  Results are cached per (layer shape, arch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layers import PPULayer
+from ..sim.perf_model import ArchPerf, LayerPerf, evaluate_layer
+
+__all__ = ["Mapping", "choose_mapping", "map_model"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """The chosen schedule of one layer."""
+
+    dataflow: str
+    cycles: float
+    energy_pj: float
+    utilization: float
+
+
+_cache: dict[tuple, tuple[Mapping, LayerPerf]] = {}
+
+
+def choose_mapping(layer, arch: ArchPerf,
+                   objective: str = "latency") -> tuple[Mapping, LayerPerf]:
+    """Best (dataflow, tiling) for *layer* on *arch*.
+
+    ``objective`` is ``latency`` (cycles first, energy tie-break) or
+    ``energy`` (the reverse) — Table V's two design goals.
+    """
+    key = (layer, arch, objective)
+    if key in _cache:
+        return _cache[key]
+    best: tuple[tuple, Mapping, LayerPerf] | None = None
+    for dataflow in arch.dataflows:
+        perf = evaluate_layer(layer, arch, dataflow)
+        if perf is None:
+            continue
+        rank = ((perf.cycles, perf.energy_pj) if objective == "latency"
+                else (perf.energy_pj, perf.cycles))
+        if best is None or rank < best[0]:
+            mapping = Mapping(dataflow, perf.cycles, perf.energy_pj,
+                              perf.utilization)
+            best = (rank, mapping, perf)
+    if best is None:
+        raise ValueError(f"no feasible mapping for layer {layer!r}")
+    _cache[key] = (best[1], best[2])
+    return _cache[key]
+
+
+def map_model(model, arch: ArchPerf, objective: str = "latency"
+              ) -> list[tuple[object, Mapping | None]]:
+    """Mappings for every layer of a model (None for PPU layers)."""
+    out = []
+    for layer in model.layers:
+        if isinstance(layer, PPULayer):
+            out.append((layer, None))
+        else:
+            mapping, _perf = choose_mapping(layer, arch, objective)
+            out.append((layer, mapping))
+    return out

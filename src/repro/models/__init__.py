@@ -1,0 +1,7 @@
+"""Model zoo: layer descriptors and the networks of the evaluation."""
+
+from .layers import AttentionLayer, ConvLayer, LinearLayer, Model, PPULayer
+from .zoo import MODEL_BUILDERS
+
+__all__ = ["AttentionLayer", "ConvLayer", "LinearLayer", "Model", "PPULayer",
+           "MODEL_BUILDERS"]

@@ -1,0 +1,290 @@
+"""The model zoo of the paper's evaluation (§VI-A).
+
+Classical CNNs (AlexNet, MobileNetV2, ResNet50, EfficientNetV2),
+transformers (BERT sentence length 16, GPT-2 decode with a 1000-token
+prompt, CoAtNet), and generative models (DDPM, Stable Diffusion's UNet,
+LLaMA-7B decode).  Image inputs are 224x224x3 except EfficientNetV2
+(384x384x3), matching the paper.  Shapes follow the original papers;
+repeated blocks are enumerated explicitly so per-layer mapping search
+sees every distinct shape.
+"""
+
+from __future__ import annotations
+
+from .layers import AttentionLayer, ConvLayer, LinearLayer, Model, PPULayer
+
+__all__ = ["alexnet", "mobilenet_v2", "resnet50", "efficientnet_v2",
+           "bert_base", "gpt2_decode", "coatnet", "ddpm", "stable_diffusion",
+           "llama7b_decode", "lenet", "MODEL_BUILDERS"]
+
+
+def _act(name: str, fn: str, n: int) -> PPULayer:
+    return PPULayer(name, fn, n)
+
+
+def lenet() -> Model:
+    layers = [
+        ConvLayer("conv1", 1, 1, 6, 28, 28, 5, 5),
+        _act("act1", "sigmoid", 6 * 28 * 28),
+        ConvLayer("conv2", 1, 6, 16, 14, 14, 5, 5),
+        _act("act2", "sigmoid", 16 * 14 * 14),
+        LinearLayer("fc1", 1, 120, 400),
+        LinearLayer("fc2", 1, 84, 120),
+        LinearLayer("fc3", 1, 10, 84),
+    ]
+    return Model("LeNet", tuple(layers))
+
+
+def alexnet() -> Model:
+    layers = [
+        ConvLayer("conv1", 1, 3, 64, 224, 224, 11, 11, stride=4),
+        _act("relu1", "relu", 64 * 56 * 56),
+        ConvLayer("conv2", 1, 64, 192, 28, 28, 5, 5),
+        _act("relu2", "relu", 192 * 28 * 28),
+        ConvLayer("conv3", 1, 192, 384, 14, 14, 3, 3),
+        ConvLayer("conv4", 1, 384, 256, 14, 14, 3, 3),
+        ConvLayer("conv5", 1, 256, 256, 14, 14, 3, 3),
+        _act("relu5", "relu", 256 * 14 * 14),
+        LinearLayer("fc6", 1, 4096, 256 * 6 * 6),
+        LinearLayer("fc7", 1, 4096, 4096),
+        LinearLayer("fc8", 1, 1000, 4096),
+    ]
+    return Model("AlexNet", tuple(layers))
+
+
+def mobilenet_v2() -> Model:
+    """Inverted residual blocks: pointwise-expand, depthwise, pointwise."""
+    cfg = [  # (expansion t, channels c, repeats n, stride s)
+        (1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+        (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1),
+    ]
+    layers: list = [ConvLayer("stem", 1, 3, 32, 224, 224, 3, 3, stride=2)]
+    c_in, res = 32, 112
+    idx = 0
+    for t, c, n, s in cfg:
+        for rep in range(n):
+            stride = s if rep == 0 else 1
+            hidden = c_in * t
+            if t != 1:
+                layers.append(ConvLayer(f"b{idx}_expand", 1, c_in, hidden,
+                                        res, res, 1, 1))
+            layers.append(ConvLayer(f"b{idx}_dw", 1, hidden, hidden,
+                                    res, res, 3, 3, stride=stride,
+                                    groups=hidden))
+            res = max(1, res // stride)
+            layers.append(ConvLayer(f"b{idx}_project", 1, hidden, c,
+                                    res, res, 1, 1))
+            layers.append(_act(f"b{idx}_relu6", "relu", c * res * res))
+            c_in = c
+            idx += 1
+    layers.append(ConvLayer("head", 1, 320, 1280, 7, 7, 1, 1))
+    layers.append(LinearLayer("classifier", 1, 1000, 1280))
+    return Model("MobileNetV2", tuple(layers))
+
+
+def resnet50() -> Model:
+    layers: list = [ConvLayer("stem", 1, 3, 64, 224, 224, 7, 7, stride=2)]
+    stage_cfg = [(64, 256, 3, 56), (128, 512, 4, 28),
+                 (256, 1024, 6, 14), (512, 2048, 3, 7)]
+    c_in = 64
+    for s_idx, (mid, out, blocks, res) in enumerate(stage_cfg):
+        for b in range(blocks):
+            pre = f"s{s_idx}b{b}"
+            layers.append(ConvLayer(f"{pre}_c1", 1, c_in, mid, res, res, 1, 1))
+            layers.append(ConvLayer(f"{pre}_c2", 1, mid, mid, res, res, 3, 3))
+            layers.append(ConvLayer(f"{pre}_c3", 1, mid, out, res, res, 1, 1))
+            layers.append(_act(f"{pre}_bn", "batchnorm", out * res * res))
+            c_in = out
+    layers.append(LinearLayer("fc", 1, 1000, 2048))
+    return Model("ResNet50", tuple(layers))
+
+
+def efficientnet_v2() -> Model:
+    """EfficientNetV2-S-like at 384x384 (fused-MBConv early, MBConv late)."""
+    layers: list = [ConvLayer("stem", 1, 3, 24, 384, 384, 3, 3, stride=2)]
+    cfg = [  # (fused?, expansion, channels, repeats, stride)
+        (True, 1, 24, 2, 1), (True, 4, 48, 4, 2), (True, 4, 64, 4, 2),
+        (False, 4, 128, 6, 2), (False, 6, 160, 9, 1), (False, 6, 256, 15, 2),
+    ]
+    c_in, res = 24, 192
+    idx = 0
+    for fused, t, c, n, s in cfg:
+        for rep in range(n):
+            stride = s if rep == 0 else 1
+            hidden = c_in * t
+            pre = f"b{idx}"
+            if fused:
+                layers.append(ConvLayer(f"{pre}_fused", 1, c_in, hidden,
+                                        res, res, 3, 3, stride=stride))
+                res = max(1, res // stride)
+            else:
+                if t != 1:
+                    layers.append(ConvLayer(f"{pre}_expand", 1, c_in, hidden,
+                                            res, res, 1, 1))
+                layers.append(ConvLayer(f"{pre}_dw", 1, hidden, hidden,
+                                        res, res, 3, 3, stride=stride,
+                                        groups=hidden))
+                res = max(1, res // stride)
+            if t != 1 or fused:
+                layers.append(ConvLayer(f"{pre}_project", 1, hidden, c,
+                                        res, res, 1, 1))
+            layers.append(_act(f"{pre}_silu", "sigmoid", c * res * res))
+            c_in = c
+            idx += 1
+    layers.append(ConvLayer("head", 1, 256, 1280, 12, 12, 1, 1))
+    layers.append(LinearLayer("classifier", 1, 1000, 1280))
+    return Model("EfficientNetV2", tuple(layers))
+
+
+def _transformer_block(pre: str, seq: int, kv: int, d_model: int, heads: int,
+                       ff_mult: int = 4) -> list:
+    d_head = d_model // heads
+    return [
+        LinearLayer(f"{pre}_qkv", seq, 3 * d_model, d_model),
+        AttentionLayer(f"{pre}_attn", heads, seq, kv, d_head),
+        PPULayer(f"{pre}_softmax", "softmax", heads * seq * kv),
+        LinearLayer(f"{pre}_proj", seq, d_model, d_model),
+        PPULayer(f"{pre}_ln1", "layernorm", seq * d_model),
+        LinearLayer(f"{pre}_ff1", seq, ff_mult * d_model, d_model),
+        PPULayer(f"{pre}_gelu", "gelu", seq * ff_mult * d_model),
+        LinearLayer(f"{pre}_ff2", seq, d_model, ff_mult * d_model),
+        PPULayer(f"{pre}_ln2", "layernorm", seq * d_model),
+    ]
+
+
+def bert_base(seq: int = 16) -> Model:
+    layers: list = []
+    for i in range(12):
+        layers += _transformer_block(f"l{i}", seq, seq, 768, 12)
+    return Model("BERT", tuple(layers))
+
+
+def gpt2_decode(prompt: int = 1000) -> Model:
+    """One-token decode after a 1000-token prompt: GEMV-shaped layers with
+    a long KV cache — memory-bandwidth bound (Fig. 11)."""
+    layers: list = []
+    for i in range(12):
+        layers += _transformer_block(f"l{i}", 1, prompt + 1, 768, 12)
+    layers.append(LinearLayer("lm_head", 1, 50257, 768))
+    return Model("GPT2", tuple(layers))
+
+
+def coatnet() -> Model:
+    """CoAtNet-0-like: conv stages then attention stages."""
+    layers: list = [ConvLayer("stem", 1, 3, 64, 224, 224, 3, 3, stride=2)]
+    c_in, res = 64, 112
+    for s_idx, (c, n) in enumerate([(96, 2), (192, 3)]):
+        for b in range(n):
+            stride = 2 if b == 0 else 1
+            hidden = c_in * 4
+            pre = f"c{s_idx}b{b}"
+            layers.append(ConvLayer(f"{pre}_expand", 1, c_in, hidden,
+                                    res, res, 1, 1))
+            layers.append(ConvLayer(f"{pre}_dw", 1, hidden, hidden, res, res,
+                                    3, 3, stride=stride, groups=hidden))
+            res = max(1, res // stride)
+            layers.append(ConvLayer(f"{pre}_project", 1, hidden, c,
+                                    res, res, 1, 1))
+            c_in = c
+    for s_idx, (d_model, n) in enumerate([(384, 5), (768, 2)]):
+        seq = res * res
+        for b in range(n):
+            layers += _transformer_block(f"t{s_idx}b{b}", seq, seq,
+                                         d_model, d_model // 32)
+        res = max(1, res // 2)
+    layers.append(LinearLayer("fc", 1, 1000, 768))
+    return Model("CoAtNet", tuple(layers))
+
+
+def ddpm(res: int = 32) -> Model:
+    """DDPM UNet (CIFAR-scale): resnet blocks over 128..256 channels."""
+    layers: list = [ConvLayer("stem", 1, 3, 128, res, res, 3, 3)]
+    chans = [128, 256, 256, 256]
+    r = res
+    for i, c in enumerate(chans):
+        c_prev = 128 if i == 0 else chans[i - 1]
+        for b in range(2):
+            pre = f"d{i}b{b}"
+            layers.append(ConvLayer(f"{pre}_c1", 1, c_prev if b == 0 else c,
+                                    c, r, r, 3, 3))
+            layers.append(ConvLayer(f"{pre}_c2", 1, c, c, r, r, 3, 3))
+            layers.append(_act(f"{pre}_gn", "layernorm", c * r * r))
+        if i < len(chans) - 1:
+            r //= 2
+    for i, c in enumerate(reversed(chans)):
+        for b in range(2):
+            pre = f"u{i}b{b}"
+            layers.append(ConvLayer(f"{pre}_c1", 1, c, c, r, r, 3, 3))
+            layers.append(ConvLayer(f"{pre}_c2", 1, c, c, r, r, 3, 3))
+            layers.append(_act(f"{pre}_gn", "layernorm", c * r * r))
+        if i < len(chans) - 1:
+            r *= 2
+    layers.append(ConvLayer("head", 1, 128, 3, res, res, 3, 3))
+    return Model("DDPM", tuple(layers))
+
+
+def stable_diffusion() -> Model:
+    """SD v1 UNet at 64x64 latents: conv ResBlocks + cross-attention."""
+    layers: list = [ConvLayer("stem", 1, 4, 320, 64, 64, 3, 3)]
+    stages = [(320, 64, 2), (640, 32, 2), (1280, 16, 2), (1280, 8, 2)]
+    c_prev = 320
+    for i, (c, r, n) in enumerate(stages):
+        for b in range(n):
+            pre = f"d{i}b{b}"
+            layers.append(ConvLayer(f"{pre}_c1", 1, c_prev if b == 0 else c,
+                                    c, r, r, 3, 3))
+            layers.append(ConvLayer(f"{pre}_c2", 1, c, c, r, r, 3, 3))
+            if r >= 16:
+                seq = r * r
+                layers.append(AttentionLayer(f"{pre}_self", c // 64, seq, seq, 64))
+                layers.append(PPULayer(f"{pre}_sm", "softmax",
+                                       (c // 64) * seq * seq))
+                layers.append(AttentionLayer(f"{pre}_cross", c // 64, seq, 77, 64))
+                layers.append(LinearLayer(f"{pre}_ff", seq, 4 * c, c))
+            layers.append(_act(f"{pre}_gn", "layernorm", c * r * r))
+        c_prev = c
+    for i, (c, r, n) in enumerate(reversed(stages)):
+        for b in range(n):
+            pre = f"u{i}b{b}"
+            layers.append(ConvLayer(f"{pre}_c1", 1, c, c, r, r, 3, 3))
+            layers.append(ConvLayer(f"{pre}_c2", 1, c, c, r, r, 3, 3))
+    layers.append(ConvLayer("head", 1, 320, 4, 64, 64, 3, 3))
+    return Model("StableDiffusion", tuple(layers))
+
+
+def llama7b_decode(batch: int = 1, prompt: int = 1000) -> Model:
+    """LLaMA-7B one-token decode: 32 layers, d_model 4096, GQA-free."""
+    d_model, heads, ff = 4096, 32, 11008
+    layers: list = []
+    for i in range(32):
+        pre = f"l{i}"
+        layers += [
+            LinearLayer(f"{pre}_qkv", batch, 3 * d_model, d_model),
+            AttentionLayer(f"{pre}_attn", heads, batch, prompt + 1,
+                           d_model // heads),
+            PPULayer(f"{pre}_softmax", "softmax", heads * batch * (prompt + 1)),
+            LinearLayer(f"{pre}_proj", batch, d_model, d_model),
+            PPULayer(f"{pre}_rms1", "layernorm", batch * d_model),
+            LinearLayer(f"{pre}_gate", batch, ff, d_model),
+            LinearLayer(f"{pre}_up", batch, ff, d_model),
+            PPULayer(f"{pre}_silu", "sigmoid", batch * ff),
+            LinearLayer(f"{pre}_down", batch, d_model, ff),
+            PPULayer(f"{pre}_rms2", "layernorm", batch * d_model),
+        ]
+    layers.append(LinearLayer("lm_head", batch, 32000, d_model))
+    return Model(f"LLaMA-7B(bs={batch})", tuple(layers))
+
+
+MODEL_BUILDERS = {
+    "AlexNet": alexnet,
+    "MobileNetV2": mobilenet_v2,
+    "ResNet50": resnet50,
+    "EfficientNetV2": efficientnet_v2,
+    "BERT": bert_base,
+    "GPT2": gpt2_decode,
+    "CoAtNet": coatnet,
+    "DDPM": ddpm,
+    "StableDiffusion": stable_diffusion,
+    "LLaMA-7B": llama7b_decode,
+    "LeNet": lenet,
+}

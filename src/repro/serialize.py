@@ -1,0 +1,135 @@
+"""JSON serialization of generated architectures.
+
+An accelerator-generation tool must let users persist and diff what it
+produced: the ADG (front-end decisions), the DAG (primitive netlist with
+delay-matching results), and the per-dataflow runtime configurations.
+The format is plain JSON — stable keys, integer-exact — and round-trips
+through :func:`load_design` for the simulator and the reports.
+
+(Workload/dataflow definitions are code, not data: the ADG embeds only
+what downstream consumers need — matrices, bounds, names.)
+"""
+
+from __future__ import annotations
+
+import json
+
+from .backend.codegen import AddrGenConfig, DataflowConfig, Design
+from .backend.dag import DAG, Edge
+from .backend.primitives import Primitive
+
+__all__ = ["dump_design", "load_design_graph", "design_to_dict"]
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in sorted(value, key=repr)] \
+            if isinstance(value, (set, frozenset)) else \
+            [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def design_to_dict(design: Design) -> dict:
+    """The JSON-ready dictionary form of a generated design."""
+    dag = design.dag
+    nodes = []
+    for nid in sorted(dag.nodes):
+        node = dag.nodes[nid]
+        nodes.append({
+            "id": nid,
+            "kind": node.kind,
+            "width": node.width,
+            "latency": node.latency,
+            "place": _jsonable(node.place),
+            "params": _jsonable(node.params),
+        })
+    edges = [{
+        "uid": e.uid, "src": e.src, "dst": e.dst, "pin": e.dst_pin,
+        "width": e.width, "el": e.el,
+    } for e in dag.edges]
+
+    configs = {}
+    for name, cfg in design.configs.items():
+        configs[name] = {
+            "mux_select": {str(k): v for k, v in cfg.mux_select.items()},
+            "mux_policy": {str(k): [[p, list(dt) if dt else None]
+                                    for p, dt in policy]
+                           for k, policy in cfg.mux_policy.items()},
+            "fifo_depth": {str(k): v for k, v in cfg.fifo_depth.items()},
+            "fifo_phys": {str(k): v for k, v in cfg.fifo_phys.items()},
+            "write_enable": sorted(cfg.write_enable),
+            "read_enable": sorted(cfg.read_enable),
+            "total_timestamps": cfg.total_timestamps,
+            "addrgen": {str(k): {
+                "rt": list(a.rt),
+                "mdt": [list(r) for r in a.mdt],
+                "offset": list(a.offset),
+                "dims": list(a.dims),
+                "gate_dt": list(a.gate_dt) if a.gate_dt else None,
+            } for k, a in cfg.addrgen.items()},
+        }
+
+    adg = design.adg
+    return {
+        "format": "lego-design-v1",
+        "fu_shape": list(adg.fu_shape),
+        "dataflows": [df.name for df in adg.dataflows],
+        "adg": {
+            "connections": [{
+                "tensor": c.tensor, "src": list(c.src), "dst": list(c.dst),
+                "depth": c.depth, "kind": c.kind,
+                "dataflows": sorted(c.dataflows),
+            } for c in adg.connections],
+            "data_nodes": [{
+                "tensor": n.tensor, "fu": list(n.fu),
+                "is_output": n.is_output,
+                "dataflows": sorted(n.dataflows),
+                "fallback_of": sorted(n.fallback_of),
+            } for n in adg.data_nodes],
+            "memory": {t: {"bank_shape": list(m.bank_shape),
+                           "bank_stride": list(m.bank_stride),
+                           "n_data_nodes": m.n_data_nodes}
+                       for t, m in adg.memory.items()},
+        },
+        "dag": {"nodes": nodes, "edges": edges},
+        "configs": configs,
+        "report": _jsonable({k: v for k, v in design.report.items()
+                             if k != "options"}),
+    }
+
+
+def dump_design(design: Design, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(design_to_dict(design), fh, indent=1)
+
+
+def load_design_graph(path: str) -> tuple[DAG, dict[str, dict]]:
+    """Reload the DAG and raw per-dataflow configuration dictionaries.
+
+    The graph is fully reconstructed (usable for reports, Verilog
+    emission, and resource accounting); configurations are returned as
+    dictionaries because :class:`DataflowConfig` references live
+    Dataflow objects, which are code.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != "lego-design-v1":
+        raise ValueError("not a LEGO design file")
+    dag = DAG()
+    for spec in data["dag"]["nodes"]:
+        node = Primitive(spec["id"], spec["kind"], width=spec["width"],
+                         latency=spec["latency"], params=spec["params"],
+                         place=tuple(spec["place"])
+                         if isinstance(spec["place"], list) else spec["place"])
+        dag.nodes[node.node_id] = node
+        dag._next_id = max(dag._next_id, node.node_id + 1)
+    for spec in data["dag"]["edges"]:
+        edge = Edge(spec["src"], spec["dst"], spec["pin"], spec["width"],
+                    spec["el"], uid=spec["uid"])
+        dag.edges.append(edge)
+        dag._next_edge_uid = max(dag._next_edge_uid, edge.uid + 1)
+    return dag, data["configs"]

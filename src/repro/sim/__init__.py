@@ -1,0 +1,10 @@
+"""Simulation substrates: cycle-accurate DAG sim, perf/energy models,
+NoC, memories, PPUs."""
+
+from .dag_sim import Simulator, make_input, simulate_workload
+from .energy_model import TSMC28, FREEPDK45, TechModel, evaluate_design
+from .perf_model import ArchPerf, GEMMINI_LIKE, evaluate_layer, evaluate_model
+
+__all__ = ["Simulator", "make_input", "simulate_workload", "TSMC28",
+           "FREEPDK45", "TechModel", "evaluate_design", "ArchPerf",
+           "GEMMINI_LIKE", "evaluate_layer", "evaluate_model"]

@@ -1,0 +1,123 @@
+"""On-chip memory system models (paper §II).
+
+* :class:`BankedMemory` — an L1 memory split into banks per the §IV-D
+  layout; each L1 space has a single address generator and controller, so
+  simultaneous accesses must hit distinct banks (the front end guarantees
+  this; the model detects violations and charges stall cycles).
+* :class:`Buffet` — the credit-based L2 interface (fill / read / shrink),
+  after the Buffets proposal the paper cites for L2+ memories: data is
+  filled by the producer, read randomly within the live window, and
+  shrunk when consumed, giving decoupled yet safe staging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.adg import MemoryLayout
+
+__all__ = ["BankedMemory", "Buffet"]
+
+
+class BankedMemory:
+    """A banked L1 tensor buffer with conflict accounting."""
+
+    def __init__(self, layout: MemoryLayout, dims: tuple[int, ...],
+                 dtype=np.int64):
+        if len(dims) != len(layout.bank_shape):
+            raise ValueError("dims rank must match the bank shape rank")
+        self.layout = layout
+        self.dims = dims
+        self.data = np.zeros(dims, dtype=dtype)
+        self.accesses = 0
+        self.conflict_stalls = 0
+
+    @property
+    def n_banks(self) -> int:
+        return self.layout.n_banks
+
+    def bank_of(self, index: tuple[int, ...]) -> tuple[int, ...]:
+        return self.layout.bank_of(index)
+
+    def access_cycle(self, indexes: list[tuple[int, ...]],
+                     values: list | None = None) -> int:
+        """Service one cycle's worth of accesses; returns cycles consumed
+        (1 if conflict-free, more if banks collide).
+
+        ``values`` writes; None reads.
+        """
+        by_bank: dict[tuple[int, ...], int] = {}
+        for idx in indexes:
+            bank = self.bank_of(idx)
+            by_bank[bank] = by_bank.get(bank, 0) + 1
+        worst = max(by_bank.values(), default=1)
+        self.accesses += len(indexes)
+        self.conflict_stalls += worst - 1
+        if values is not None:
+            for idx, value in zip(indexes, values):
+                self.data[idx] = value
+        return worst
+
+    def read(self, index: tuple[int, ...]):
+        self.accesses += 1
+        return self.data[index]
+
+    def write(self, index: tuple[int, ...], value) -> None:
+        self.accesses += 1
+        self.data[index] = value
+
+
+@dataclass
+class Buffet:
+    """Credit-based staging buffer (fill / read / shrink) used for L2+.
+
+    Reads may address any element of the currently-filled window; reads
+    beyond the fill point block (modeled by :meth:`read` returning None),
+    which is how Buffets synchronize producer and consumer without a
+    full-blown coherence protocol.
+    """
+
+    capacity: int
+    fill_ptr: int = 0
+    head: int = 0
+    data: dict[int, object] = field(default_factory=dict)
+    blocked_reads: int = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.fill_ptr - self.head
+
+    def can_fill(self, n: int = 1) -> bool:
+        return self.occupancy + n <= self.capacity
+
+    def fill(self, values: list) -> int:
+        """Fill values; returns how many were accepted (back-pressure)."""
+        accepted = 0
+        for value in values:
+            if not self.can_fill():
+                break
+            self.data[self.fill_ptr] = value
+            self.fill_ptr += 1
+            accepted += 1
+        return accepted
+
+    def read(self, offset: int):
+        """Random-access read at ``head + offset``; None if not yet filled
+        (the consumer must retry — a blocked read)."""
+        if offset < 0:
+            raise ValueError("negative buffet offset")
+        addr = self.head + offset
+        if addr >= self.fill_ptr:
+            self.blocked_reads += 1
+            return None
+        return self.data[addr]
+
+    def shrink(self, n: int = 1) -> None:
+        """Retire the ``n`` oldest elements, freeing credit."""
+        if n > self.occupancy:
+            raise ValueError("cannot shrink below zero occupancy")
+        for addr in range(self.head, self.head + n):
+            self.data.pop(addr, None)
+        self.head += n

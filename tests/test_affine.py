@@ -1,0 +1,156 @@
+"""Unit and property tests for the exact integer affine algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.affine import (AffineMap, box_iter, hermite_normal_form,
+                               integer_nullspace, solve_integer)
+
+
+class TestAffineMap:
+    def test_apply(self):
+        f = AffineMap.from_arrays([[1, 0], [0, 2]], [1, -1])
+        assert list(f([3, 4])) == [4, 7]
+
+    def test_identity(self):
+        f = AffineMap.identity(3)
+        assert list(f([5, 6, 7])) == [5, 6, 7]
+
+    def test_apply_linear_ignores_bias(self):
+        f = AffineMap.from_arrays([[1, 1]], [10])
+        assert list(f.apply_linear([2, 3])) == [5]
+        assert list(f([2, 3])) == [15]
+
+    def test_compose(self):
+        f = AffineMap.from_arrays([[2, 0], [0, 3]], [1, 1])
+        g = AffineMap.from_arrays([[1, 1], [1, -1]], [0, 2])
+        h = f.compose(g)
+        x = np.array([4, 5])
+        assert list(h(x)) == list(f(g(x)))
+
+    def test_compose_shape_mismatch(self):
+        f = AffineMap.identity(2)
+        g = AffineMap.identity(3)
+        with pytest.raises(ValueError):
+            f.compose(g)
+
+    def test_hstack(self):
+        f = AffineMap.from_arrays([[1, 0]], [2])
+        g = AffineMap.from_arrays([[0, 5]], [0])
+        h = f.hstack(g)
+        assert list(h([1, 2, 3, 4])) == [1 + 20 + 2]
+
+    def test_hashable(self):
+        a = AffineMap.identity(2)
+        b = AffineMap.identity(2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            AffineMap.from_arrays([[0.5, 1.0]])
+
+    def test_accepts_float_integers(self):
+        f = AffineMap.from_arrays(np.array([[1.0, 2.0]]))
+        assert list(f([1, 1])) == [3]
+
+    def test_is_linear(self):
+        assert AffineMap.from_arrays([[1]]).is_linear()
+        assert not AffineMap.from_arrays([[1]], [3]).is_linear()
+
+
+int_matrices = st.integers(min_value=1, max_value=4).flatmap(
+    lambda m: st.integers(min_value=1, max_value=4).flatmap(
+        lambda n: st.lists(
+            st.lists(st.integers(min_value=-6, max_value=6),
+                     min_size=n, max_size=n),
+            min_size=m, max_size=m)))
+
+
+class TestHermiteNormalForm:
+    @given(int_matrices)
+    @settings(max_examples=150, deadline=None)
+    def test_hnf_invariants(self, rows):
+        a = np.array(rows, dtype=np.int64)
+        h, u = hermite_normal_form(a)
+        # A @ U == H
+        prod = a.astype(object) @ u
+        assert (prod == h).all()
+        # U unimodular
+        det = round(float(np.linalg.det(u.astype(np.float64))))
+        assert det in (1, -1)
+
+    def test_simple(self):
+        h, u = hermite_normal_form([[2, 4], [4, 8]])
+        assert h[0][0] > 0
+        assert all(h[r][1] == 0 for r in range(2))
+
+
+class TestNullspace:
+    @given(int_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_nullspace_vectors_are_in_kernel(self, rows):
+        a = np.array(rows, dtype=np.int64)
+        basis = integer_nullspace(a)
+        for col in range(basis.shape[1]):
+            vec = basis[:, col]
+            assert all(v == 0 for v in a.astype(object) @ vec)
+
+    def test_rank_nullity(self):
+        a = np.array([[1, 2, 3], [2, 4, 6]], dtype=np.int64)  # rank 1
+        basis = integer_nullspace(a)
+        assert basis.shape == (3, 2)
+
+    def test_full_rank_has_trivial_nullspace(self):
+        assert integer_nullspace(np.eye(3, dtype=np.int64)).shape[1] == 0
+
+
+class TestSolveInteger:
+    def test_unique_solution(self):
+        sol = solve_integer([[2, 0], [0, 3]], [4, 9])
+        assert sol is not None
+        assert list(sol.x0) == [2, 3]
+
+    def test_no_integer_solution(self):
+        assert solve_integer([[2]], [3]) is None
+
+    def test_inconsistent(self):
+        assert solve_integer([[1, 1], [1, 1]], [0, 1]) is None
+
+    def test_underdetermined_general_solution(self):
+        sol = solve_integer([[1, 1]], [5])
+        assert sol is not None
+        x = sol.sample([7])
+        assert x[0] + x[1] == 5
+
+    @given(int_matrices,
+           st.lists(st.integers(min_value=-4, max_value=4), min_size=1,
+                    max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_solution_satisfies_system(self, rows, xs):
+        a = np.array(rows, dtype=np.int64)
+        x = np.array((xs * 4)[:a.shape[1]], dtype=np.int64)
+        b = a @ x  # guaranteed solvable
+        sol = solve_integer(a, b)
+        assert sol is not None
+        assert all(v == w for v, w in zip(a.astype(object) @ sol.x0, b))
+
+    @given(int_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_none_only_when_truly_unsolvable(self, rows):
+        a = np.array(rows, dtype=np.int64)
+        b = np.zeros(a.shape[0], dtype=np.int64)
+        sol = solve_integer(a, b)  # homogeneous always solvable
+        assert sol is not None
+        assert all(v == 0 for v in a.astype(object) @ sol.x0)
+
+
+class TestBoxIter:
+    def test_counts(self):
+        pts = list(box_iter([(-1, 1), (0, 2)]))
+        assert len(pts) == 9
+
+    def test_empty_box(self):
+        pts = list(box_iter([]))
+        assert len(pts) == 1 and pts[0].size == 0

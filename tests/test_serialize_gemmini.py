@@ -1,0 +1,76 @@
+"""Tests for design serialization and the Gemmini template estimate."""
+
+import json
+
+import pytest
+
+from repro.arch.gemmini import GEMMINI_LIKE, gemmini_area_power
+from repro.backend import generate, run_backend
+from repro.core import kernels
+from repro.core.frontend import build_adg
+from repro.serialize import design_to_dict, dump_design, load_design_graph
+
+
+@pytest.fixture(scope="module")
+def design():
+    wl = kernels.gemm(8, 8, 8)
+    dfa = kernels.gemm_dataflow("IJ", wl, 4, 4)
+    dfb = kernels.gemm_dataflow("KJ", wl, 4, 4)
+    return run_backend(generate(build_adg([dfa, dfb])))
+
+
+class TestSerialization:
+    def test_dict_form_is_json_serializable(self, design):
+        blob = json.dumps(design_to_dict(design))
+        assert "lego-design-v1" in blob
+
+    def test_roundtrip_graph(self, design, tmp_path):
+        path = tmp_path / "design.json"
+        dump_design(design, str(path))
+        dag, configs = load_design_graph(str(path))
+        assert len(dag.nodes) == len(design.dag.nodes)
+        assert len(dag.edges) == len(design.dag.edges)
+        # Delay-matching results survive.
+        orig_el = {e.uid: e.el for e in design.dag.edges}
+        assert {e.uid: e.el for e in dag.edges} == orig_el
+        assert set(configs) == set(design.configs)
+
+    def test_loaded_graph_emits_same_register_bits(self, design, tmp_path):
+        path = tmp_path / "design.json"
+        dump_design(design, str(path))
+        dag, _configs = load_design_graph(str(path))
+        assert dag.pipeline_register_bits() == \
+            design.dag.pipeline_register_bits()
+
+    def test_format_validation(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a LEGO design"):
+            load_design_graph(str(path))
+
+    def test_configs_capture_addrgens(self, design):
+        data = design_to_dict(design)
+        for name, cfg in data["configs"].items():
+            assert cfg["addrgen"], name
+            any_ag = next(iter(cfg["addrgen"].values()))
+            assert {"rt", "mdt", "offset", "dims"} <= set(any_ag)
+
+
+class TestGemminiEstimate:
+    def test_matched_resources(self):
+        est = gemmini_area_power()
+        # Same ballpark as the LEGO design with matched resources
+        # (Fig. 11's premise: equal resources, different flexibility).
+        assert 0.5 < est.area_mm2 < 5.0
+        assert 50 < est.power_mw < 1000
+
+    def test_scales_with_macs(self):
+        small = gemmini_area_power(n_macs=64)
+        big = gemmini_area_power(n_macs=1024)
+        assert big.area_mm2 > small.area_mm2
+        assert big.power_mw > small.power_mw
+
+    def test_perf_view_is_restricted(self):
+        assert GEMMINI_LIKE.dataflows == ("ICOC",)
+        assert GEMMINI_LIKE.im2col_conv
+        assert not GEMMINI_LIKE.has_ppu

@@ -1,0 +1,198 @@
+"""Tests for the workload and dataflow representations (paper §III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.dataflow import (Dataflow, scalar_to_timestamp,
+                                 timestamp_to_scalar)
+from repro.core.workload import BodyOp, TensorAccess, Workload
+from repro.core.affine import AffineMap
+
+
+class TestWorkloadValidation:
+    def test_gemm_builds(self):
+        wl = kernels.gemm(4, 5, 6)
+        assert wl.bounds == {"i": 4, "j": 5, "k": 6}
+        assert [t.name for t in wl.tensors] == ["X", "W", "Y"]
+
+    def test_reduction_dims(self):
+        assert kernels.gemm().reduction_dims() == ("k",)
+        conv = kernels.conv2d()
+        assert set(conv.reduction_dims()) == {"ic", "kh", "kw"}
+        assert set(kernels.mttkrp().reduction_dims()) == {"k", "l"}
+
+    def test_needs_output(self):
+        with pytest.raises(ValueError, match="output"):
+            Workload("bad", ("i",), {"i": 4},
+                     (TensorAccess("X", AffineMap.identity(1)),),
+                     (BodyOp("pass", "t", ("X",)),))
+
+    def test_body_reads_undefined(self):
+        with pytest.raises(ValueError, match="undefined"):
+            Workload("bad", ("i",), {"i": 4},
+                     (TensorAccess("Y", AffineMap.identity(1), is_output=True),),
+                     (BodyOp("add_acc", "Y", ("nope",)),))
+
+    def test_acc_must_target_output(self):
+        wl_tensors = (
+            TensorAccess("X", AffineMap.identity(1)),
+            TensorAccess("Y", AffineMap.identity(1), is_output=True),
+        )
+        with pytest.raises(ValueError, match="accumulation target"):
+            Workload("bad", ("i",), {"i": 4}, wl_tensors,
+                     (BodyOp("add_acc", "X", ("X",)),
+                      BodyOp("add_acc", "Y", ("X",))))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown body op"):
+            BodyOp("frobnicate", "a", ("b",))
+
+    def test_output_never_written(self):
+        tensors = (
+            TensorAccess("X", AffineMap.identity(1)),
+            TensorAccess("Y", AffineMap.identity(1), is_output=True),
+            TensorAccess("Z", AffineMap.identity(1), is_output=True),
+        )
+        with pytest.raises(ValueError, match="never written"):
+            Workload("bad", ("i",), {"i": 2}, tensors,
+                     (BodyOp("add_acc", "Y", ("X",)),))
+
+    def test_total_ops(self):
+        wl = kernels.gemm(4, 4, 4)
+        assert wl.total_ops() == 2 * 4 * 4 * 4
+        # MTTKRP has two multiplies per iteration point.
+        mt = kernels.mttkrp(2, 2, 2, 2)
+        assert mt.total_ops() == 2 * 2 * 16
+
+    def test_tensor_footprint(self):
+        wl = kernels.gemm(4, 5, 6)
+        assert wl.tensor_footprint("X") == 4 * 6
+        assert wl.tensor_footprint("W") == 6 * 5
+        assert wl.tensor_footprint("Y") == 4 * 5
+        conv = kernels.conv2d(1, 8, 8, 8, 8, 3, 3)
+        assert conv.tensor_footprint("X") == 1 * 8 * 10 * 10
+
+
+class TestTimestamps:
+    def test_paper_eq3(self):
+        # t = ((t0*R1 + t1)*R2 + t2) ...
+        sizes = (3, 4, 5)
+        assert timestamp_to_scalar([1, 2, 3], sizes) == (1 * 4 + 2) * 5 + 3
+
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                    max_size=5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, sizes, data):
+        total = int(np.prod(sizes))
+        scalar = data.draw(st.integers(min_value=0, max_value=total - 1))
+        t = scalar_to_timestamp(scalar, sizes)
+        assert timestamp_to_scalar(t, sizes) == scalar
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            scalar_to_timestamp(100, (2, 2))
+
+
+class TestDataflowBuild:
+    def test_fig3_gemm_kj(self):
+        """The TPU-like schedule of Fig. 3: s = (k, j), c = (1, 1)."""
+        wl = kernels.gemm(8, 8, 8)
+        df = kernels.gemm_dataflow("KJ", wl, 2, 2)
+        assert df.s_names == ("s_k", "s_j")
+        assert df.control == (1, 1)
+        assert df.n_fus == 4
+        # i = M_T t + M_S s must cover the domain and be correct:
+        i = df.iteration([3, 1, 2], [1, 0])
+        # temporal dims are (i, j, k) with spatial least significant
+        assert i[0] == 3            # i = t0_i
+        assert i[1] == 1 * 2 + 0    # j = t0_j * P_j + s_j
+        assert i[2] == 2 * 2 + 1    # k = t0_k * P_k + s_k
+
+    def test_t_bias(self):
+        wl = kernels.gemm(8, 8, 8)
+        df = kernels.gemm_dataflow("KJ", wl, 4, 4)
+        assert df.t_bias([0, 0]) == 0
+        assert df.t_bias([2, 3]) == 5
+        assert df.delta_t_bias([1, -1]) == 0
+
+    def test_data_index_matches_loop_nest(self):
+        """Exhaustively check the affine semantics against a reference
+        loop-nest interpretation for GEMM-KJ."""
+        wl = kernels.gemm(4, 4, 4)
+        df = kernels.gemm_dataflow("KJ", wl, 2, 2)
+        for t0 in range(4):
+            for t1 in range(2):
+                for t2 in range(2):
+                    for sk in range(2):
+                        for sj in range(2):
+                            i = df.iteration([t0, t1, t2], [sk, sj])
+                            x = df.data_index("X", [t0, t1, t2], [sk, sj])
+                            y = df.data_index("Y", [t0, t1, t2], [sk, sj])
+                            w = df.data_index("W", [t0, t1, t2], [sk, sj])
+                            assert list(x) == [i[0], i[2]]
+                            assert list(w) == [i[2], i[1]]
+                            assert list(y) == [i[0], i[1]]
+
+    def test_conv_bias_propagates(self):
+        wl = kernels.conv2d(1, 4, 4, 4, 4, 3, 3)
+        df = kernels.conv2d_dataflow("OHOW", wl, 2, 2)
+        x = df.data_index("X", [0] * df.n_temporal, [0, 0])
+        assert list(x[2:]) == [-1, -1]  # padding origin bias
+
+    def test_multi_level_tiling(self):
+        wl = kernels.gemm(16, 4, 4)
+        df = Dataflow.build(wl, spatial=[("j", 2), ("k", 2)],
+                            temporal=[("i", 4), ("j", 2), ("k", 2), ("i", 4)],
+                            control=(1, 1))
+        assert df.rt == (4, 2, 2, 4)
+        # i = t0_i1 * 4 + t0_i0 (outer level multiplies inner size)
+        i = df.iteration([2, 0, 0, 3], [0, 0])
+        assert i[0] == 2 * 4 + 3
+
+    def test_coverage_validation(self):
+        wl = kernels.gemm(16, 16, 16)
+        with pytest.raises(ValueError, match="cover"):
+            Dataflow.build(wl, spatial=[("i", 2), ("j", 2)],
+                           temporal=[("i", 2), ("j", 2), ("k", 16)])
+
+    def test_duplicate_spatial_rejected(self):
+        wl = kernels.gemm()
+        with pytest.raises(ValueError, match="once"):
+            Dataflow.build(wl, spatial=[("i", 2), ("i", 2)])
+
+    def test_strides_match_scalarization(self):
+        wl = kernels.gemm(8, 8, 8)
+        df = kernels.gemm_dataflow("IJ", wl, 2, 2)
+        t = [1, 2, 1]
+        assert df.scalar_delay(t) == timestamp_to_scalar(t, df.rt)
+
+    def test_fu_coords(self):
+        wl = kernels.gemm(8, 8, 8)
+        df = kernels.gemm_dataflow("IJ", wl, 2, 3)
+        coords = df.fu_coords()
+        assert len(coords) == 6
+        assert coords[0] == (0, 0) and coords[-1] == (1, 2)
+
+
+class TestKernelBuilders:
+    def test_all_kernels_valid(self):
+        for wl in (kernels.gemm(), kernels.conv2d(), kernels.depthwise_conv2d(),
+                   kernels.attention_qk(), kernels.attention_pv(),
+                   kernels.mttkrp(), kernels.bitfusion_gemm()):
+            assert wl.total_ops() > 0
+            assert len(wl.outputs) == 1
+
+    def test_unknown_dataflow_names(self):
+        with pytest.raises(ValueError):
+            kernels.gemm_dataflow("ZZ", kernels.gemm())
+        with pytest.raises(ValueError):
+            kernels.conv2d_dataflow("ZZ", kernels.conv2d())
+        with pytest.raises(ValueError):
+            kernels.mttkrp_dataflow("ZZ", kernels.mttkrp())
+
+    def test_bitfusion_body(self):
+        wl = kernels.bitfusion_gemm()
+        assert [op.op for op in wl.body] == ["mul", "shl", "add_acc"]
