@@ -1,58 +1,203 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or the
+``repro`` console script).
 
 Commands
 --------
 ``generate``   run the full flow for a named kernel/dataflow and emit
-               Verilog plus a design summary;
+               Verilog plus a design summary (service-cached);
+``batch``      generate many designs at once across a worker pool;
 ``evaluate``   end-to-end model performance on a named architecture;
-``explore``    small design-space exploration with a Pareto report.
+``explore``    design-space exploration with a Pareto report;
+``cache``      inspect, list, or clear the content-addressed design cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from . import kernels
-from .backend import BackendOptions, generate, run_backend
-from .core.frontend import build_adg
+
+def _build_engine(args: argparse.Namespace):
+    """Engine honouring the shared ``--cache-dir``/``--no-cache`` flags."""
+    from .service.cache import DesignCache
+    from .service.engine import BatchEngine
+
+    workers = getattr(args, "workers", None)
+    if getattr(args, "no_cache", False):
+        return BatchEngine(cache=None, workers=workers)
+    cache_dir = getattr(args, "cache_dir", None)
+    cache = DesignCache(root=cache_dir) if cache_dir else DesignCache()
+    return BatchEngine(cache=cache, workers=workers)
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
-    from .backend.verilog import emit_verilog
-    from .report import design_summary, render_topology
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", help="design cache location "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the design cache entirely")
 
-    p0, p1 = args.array
-    if args.kernel == "gemm":
-        wl = kernels.gemm(4 * p0, 4 * p1, 4 * max(p0, p1))
-        dfs = [kernels.gemm_dataflow(k, wl, p0, p1,
-                                     systolic=not args.broadcast)
-               for k in args.dataflows]
-    elif args.kernel == "conv2d":
-        wl = kernels.conv2d(1, 2 * p0, 2 * p1, 2 * p0, 2 * p1, 3, 3)
-        dfs = [kernels.conv2d_dataflow(k, wl, p0, p1)
-               for k in args.dataflows]
-    elif args.kernel == "mttkrp":
-        wl = kernels.mttkrp(4 * p0, 4 * p1, 2 * p0, 2 * p1)
-        dfs = [kernels.mttkrp_dataflow(k, wl, p0, p1)
-               for k in args.dataflows]
-    else:
-        print(f"unknown kernel {args.kernel!r}", file=sys.stderr)
-        return 2
+
+def _request_from_args(args: argparse.Namespace, dataflows=None):
+    from .backend import BackendOptions
+    from .service.spec import DesignRequest
 
     options = (BackendOptions.baseline() if args.no_optimize
                else BackendOptions())
-    design = run_backend(generate(build_adg(dfs)), options)
-    print(design_summary(design))
+    return DesignRequest(
+        kernel=args.kernel,
+        dataflows=tuple(dataflows if dataflows is not None
+                        else args.dataflows),
+        array=tuple(args.array),
+        systolic=not args.broadcast,
+        options=options,
+        module=getattr(args, "module", "lego_top"),
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .report import render_topology
+
+    request = _request_from_args(args)
+    result = _build_engine(args).submit(request)
+    if not result.ok:
+        print(f"generation failed: {result.error}", file=sys.stderr)
+        return 1
+    print(result.summary)
+    if result.from_cache:
+        print(f"(cache hit {result.spec_hash[:12]})")
     if args.topology:
-        for tensor in design.adg.tensor_names():
-            print(render_topology(design.adg, tensor, dfs[0].name))
+        # Topology rendering needs the live ADG; the frontend alone is
+        # cheap, so rebuild it rather than fatten every cache record.
+        from .core.frontend import build_adg
+        dfs = request.build_dataflows()
+        adg = build_adg(dfs, request.frontend)
+        for tensor in adg.tensor_names():
+            print(render_topology(adg, tensor, dfs[0].name))
     if args.output:
-        rtl = emit_verilog(design, module_name=args.module)
         with open(args.output, "w") as fh:
-            fh.write(rtl)
-        print(f"wrote {len(rtl.splitlines())} lines of Verilog to "
+            fh.write(result.rtl)
+        print(f"wrote {len(result.rtl.splitlines())} lines of Verilog to "
               f"{args.output}")
+    return 0
+
+
+def _parse_array(text: str) -> tuple[int, int]:
+    try:
+        p0, _, p1 = text.partition("x")
+        shape = int(p0), int(p1)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"array {text!r} is not of the form P0xP1 (e.g. 8x8)")
+    if shape[0] < 1 or shape[1] < 1:
+        raise argparse.ArgumentTypeError(
+            f"array {text!r} must have positive dimensions")
+    return shape
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .service.spec import DesignRequest
+
+    try:
+        if args.spec_file:
+            with open(args.spec_file) as fh:
+                specs = json.load(fh)
+            if not isinstance(specs, list):
+                print(f"{args.spec_file}: expected a JSON list of request "
+                      "dicts", file=sys.stderr)
+                return 2
+            requests = [DesignRequest.from_dict(spec) for spec in specs]
+        else:
+            requests = []
+            for array in args.arrays:
+                args.array = list(array)  # _request_from_args reads it
+                if args.fuse:
+                    requests.append(_request_from_args(
+                        args, dataflows=tuple(args.dataflows)))
+                else:
+                    requests.extend(
+                        _request_from_args(args, dataflows=(df,))
+                        for df in args.dataflows)
+    except (ValueError, TypeError, KeyError) as exc:
+        print(f"invalid design request: {exc}", file=sys.stderr)
+        return 2
+
+    engine = _build_engine(args)
+
+    def progress(done: int, total: int, result) -> None:
+        status = ("hit" if result.from_cache
+                  else "ok" if result.ok else "FAIL")
+        print(f"  [{done}/{total}] {status:4s} "
+              f"{result.request.kernel}-{'+'.join(result.request.dataflows)}"
+              f" @{result.request.array[0]}x{result.request.array[1]}"
+              f"  {result.elapsed_s:6.2f}s  {result.spec_hash[:12]}")
+
+    import time
+    start = time.perf_counter()
+    results = engine.generate_many(requests, workers=args.workers,
+                                   progress=progress)
+    elapsed = max(time.perf_counter() - start, 1e-9)
+
+    if args.output_dir:
+        out = pathlib.Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            if not result.ok:
+                continue
+            (out / f"{result.spec_hash[:16]}.v").write_text(result.rtl)
+            (out / f"{result.spec_hash[:16]}.json").write_text(
+                json.dumps(result.design, indent=1))
+        print(f"wrote {sum(r.ok for r in results)} designs to {out}")
+
+    ok = sum(r.ok for r in results)
+    hits = sum(r.from_cache for r in results)
+    print(f"{ok}/{len(results)} designs ok ({hits} from cache) in "
+          f"{elapsed:.2f}s — {len(results) / elapsed:.1f} designs/sec, "
+          f"workers={args.workers}")
+    if engine.cache is not None:
+        print(f"cache: {engine.cache.stats.as_dict()}")
+    for result in results:
+        if not result.ok:
+            print(f"  failed {result.spec_hash[:12]}: {result.error}",
+                  file=sys.stderr)
+    return 0 if ok == len(results) else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .service.cache import DesignCache
+
+    cache = DesignCache(root=args.cache_dir) if args.cache_dir \
+        else DesignCache()
+    if args.action == "clear":
+        print(f"removed {cache.clear()} entries from {cache.root}")
+        return 0
+    keys = cache.keys()
+    if args.action == "stats":
+        def size_of(key: str) -> int:
+            try:  # entries may vanish under a concurrent clear/eviction
+                return cache.path_for(key).stat().st_size
+            except OSError:
+                return 0
+        total_bytes = sum(size_of(k) for k in keys)
+        print(f"cache root : {cache.root}")
+        print(f"entries    : {len(keys)}")
+        print(f"size       : {total_bytes / 1024:.1f} KiB")
+        return 0
+    # list — peek() keeps the listing read-only (no LRU promotion, no
+    # mtime refresh that would scramble the eviction order)
+    for key in keys:
+        record = cache.peek(key)
+        if record is None:
+            continue
+        if record.get("kind") == "eval-v1":
+            print(f"{key[:16]}  eval    cycles={record['cycles']:.3g}")
+        else:
+            req = record.get("request", {})
+            print(f"{key[:16]}  design  {req.get('kernel', '?')}-"
+                  f"{'+'.join(req.get('dataflows', []))} "
+                  f"@{'x'.join(map(str, req.get('array', [])))}")
     return 0
 
 
@@ -81,14 +226,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from .dse.explorer import DesignSpace, explore, pareto_front
     from .models import zoo
 
+    engine = _build_engine(args)
     models = [zoo.MODEL_BUILDERS[name]() for name in args.models]
-    points = explore(models, DesignSpace(), objective=args.objective)
+    points = explore(models, DesignSpace(), objective=args.objective,
+                     area_budget_mm2=args.area_budget,
+                     workers=args.workers, cache=engine.cache)
     front = pareto_front(points)
     print(f"explored {len(points)} design points; Pareto frontier:")
     print(f"{'design':28s}{'GOP/s':>9s}{'GOPS/W':>9s}{'EDP':>12s}")
     for p in front:
         print(f"{p.arch.name:28s}{p.gops:9.1f}{p.gops_per_watt:9.0f}"
               f"{p.edp:12.3e}")
+    if not points:
+        print("no design point fits the area budget", file=sys.stderr)
+        return 1
     best = points[0]
     print(f"\nbest by {args.objective}: {best.arch.name}")
     return 0
@@ -102,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
 
     gen = sub.add_parser("generate", help="generate an accelerator")
     gen.add_argument("--kernel", default="gemm",
-                     choices=["gemm", "conv2d", "mttkrp"])
+                     choices=["gemm", "conv2d", "mttkrp", "attention"])
     gen.add_argument("--dataflows", nargs="+", default=["KJ"])
     gen.add_argument("--array", nargs=2, type=int, default=[8, 8],
                      metavar=("P0", "P1"))
@@ -114,7 +265,37 @@ def main(argv: list[str] | None = None) -> int:
                      help="print per-tensor interconnect diagrams")
     gen.add_argument("--output", "-o", help="write Verilog here")
     gen.add_argument("--module", default="lego_top")
+    _add_cache_flags(gen)
     gen.set_defaults(func=_cmd_generate)
+
+    bat = sub.add_parser("batch", help="generate many designs at once")
+    bat.add_argument("--spec-file",
+                     help="JSON list of design-request dicts (overrides "
+                     "the kernel/dataflow/array flags)")
+    bat.add_argument("--kernel", default="gemm",
+                     choices=["gemm", "conv2d", "mttkrp", "attention"])
+    bat.add_argument("--dataflows", nargs="+", default=["KJ"])
+    bat.add_argument("--arrays", nargs="+", type=_parse_array,
+                     default=[(8, 8)], metavar="P0xP1",
+                     help="array shapes, e.g. --arrays 4x4 8x8 16x16")
+    bat.add_argument("--fuse", action="store_true",
+                     help="one fused multi-dataflow design per array "
+                     "instead of one design per dataflow")
+    bat.add_argument("--broadcast", action="store_true")
+    bat.add_argument("--no-optimize", action="store_true")
+    bat.add_argument("--workers", type=int, default=1,
+                     help="worker processes for cold requests")
+    bat.add_argument("--output-dir",
+                     help="write <hash>.v and <hash>.json per design here")
+    _add_cache_flags(bat)
+    bat.set_defaults(func=_cmd_batch)
+
+    ca = sub.add_parser("cache", help="inspect or clear the design cache")
+    ca.add_argument("action", choices=["stats", "list", "clear"])
+    ca.add_argument("--cache-dir", "--dir", dest="cache_dir",
+                    help="cache location (default: $REPRO_CACHE_DIR or "
+                    "~/.cache/repro)")
+    ca.set_defaults(func=_cmd_cache)
 
     ev = sub.add_parser("evaluate", help="evaluate a model end to end")
     ev.add_argument("model")
@@ -125,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     ex.add_argument("--models", nargs="+", default=["ResNet50"])
     ex.add_argument("--objective", default="edp",
                     choices=["edp", "latency", "energy", "throughput"])
+    ex.add_argument("--area-budget", type=float, default=None,
+                    metavar="MM2", help="screen out points whose MAC+SRAM "
+                    "area exceeds this many mm^2")
+    ex.add_argument("--workers", type=int, default=1,
+                    help="worker processes for point evaluation")
+    _add_cache_flags(ex)
     ex.set_defaults(func=_cmd_explore)
 
     args = parser.parse_args(argv)

@@ -16,10 +16,9 @@ Eyeriss-resource design cuts power 9% at equal latency — is reproduced in
 from __future__ import annotations
 
 import itertools
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..sim.perf_model import ArchPerf, evaluate_model
+from ..sim.perf_model import ArchPerf
 
 __all__ = ["DesignPoint", "DesignSpace", "explore", "pareto_front"]
 
@@ -69,16 +68,23 @@ class DesignSpace:
 def explore(models, space: DesignSpace | None = None,
             objective: str = "edp",
             area_budget_mm2: float | None = None,
-            tech=None) -> list[DesignPoint]:
+            tech=None, workers: int = 1,
+            cache=None) -> list[DesignPoint]:
     """Evaluate every point of *space* on *models* (a list of zoo models);
     returns points sorted best-first by *objective*
     (``edp`` | ``latency`` | ``energy`` | ``throughput``).
+
+    Point evaluations route through the service engine: ``workers > 1``
+    fans them across a process pool, and passing a
+    :class:`~repro.service.cache.DesignCache` memoizes them so repeated
+    explorations (the LEGO-in-series-with-DSE loop) skip re-evaluation.
     """
+    from ..service.engine import evaluate_archs
     from ..sim.energy_model import TSMC28, sram_model
 
     space = space or DesignSpace()
     tech = tech or TSMC28
-    points: list[DesignPoint] = []
+    archs = []
     for arch in space.points():
         if area_budget_mm2 is not None:
             # Cheap screen: MACs + SRAM must fit the budget.
@@ -86,12 +92,12 @@ def explore(models, space: DesignSpace | None = None,
             sram_area = sram_model(tech, arch.buffer_kb, 64, 16)["area_um2"]
             if (mac_area + sram_area) / 1e6 > area_budget_mm2:
                 continue
-        cycles = energy = ops = 0.0
-        for model in models:
-            perf = evaluate_model(model, arch, tech)
-            cycles += perf.total_cycles
-            energy += perf.total_energy_pj
-            ops += perf.total_ops
+        archs.append(arch)
+
+    points: list[DesignPoint] = []
+    rows = evaluate_archs(models, archs, tech, workers=workers, cache=cache)
+    for arch, row in zip(archs, rows):
+        cycles, energy, ops = row["cycles"], row["energy_pj"], row["ops"]
         seconds = cycles / (arch.freq_mhz * 1e6)
         gops = ops / seconds / 1e9 if seconds else 0.0
         watts = energy * 1e-12 / seconds if seconds else 1.0

@@ -18,7 +18,15 @@ from .backend.codegen import AddrGenConfig, DataflowConfig, Design
 from .backend.dag import DAG, Edge
 from .backend.primitives import Primitive
 
-__all__ = ["dump_design", "load_design_graph", "design_to_dict"]
+__all__ = ["dump_design", "load_design_graph", "design_to_dict",
+           "canonical_dumps"]
+
+
+def canonical_dumps(obj) -> str:
+    """Deterministic JSON — sorted keys, no whitespace.  The service
+    layer hashes and byte-compares this form, so it must not vary across
+    processes or Python versions."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
 def _jsonable(value):

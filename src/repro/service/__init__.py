@@ -1,0 +1,25 @@
+"""Design service: content-addressed caching + parallel batch generation.
+
+The generator is positioned to run *in series* with DSE frameworks
+(paper §VII-a), which means the same specs get regenerated over and
+over.  This subsystem memoizes the frontend→backend flow behind a
+canonical, hashable :class:`DesignRequest`, stores finished designs in a
+content-addressed :class:`DesignCache`, and fans batches of requests
+across a :class:`BatchEngine` worker pool.  The :mod:`repro.service.api`
+façade is the single entry point the CLI, the DSE explorer, and the
+benchmarks all route through.
+"""
+
+from .api import (cache_stats, clear_cache, explore_cached, generate_many,
+                  get_engine, submit)
+from .cache import CacheStats, DesignCache
+from .engine import BatchEngine, evaluate_archs, requests_from_space
+from .spec import DesignRequest, DesignResult, execute_request
+
+__all__ = [
+    "DesignRequest", "DesignResult", "execute_request",
+    "DesignCache", "CacheStats",
+    "BatchEngine", "evaluate_archs", "requests_from_space",
+    "get_engine", "submit", "generate_many", "explore_cached",
+    "cache_stats", "clear_cache",
+]

@@ -1,0 +1,79 @@
+"""Single façade over the design service.
+
+The CLI, the DSE explorer, benchmarks, and library users all route
+through these few functions; they share one process-wide
+:class:`BatchEngine` (and therefore one cache) unless a caller asks for
+its own.  ``REPRO_CACHE_DIR`` relocates the default on-disk store.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .cache import DesignCache
+from .engine import BatchEngine
+from .spec import DesignRequest, DesignResult
+
+__all__ = ["get_engine", "submit", "generate_many", "explore_cached",
+           "cache_stats", "clear_cache"]
+
+_engine: BatchEngine | None = None
+
+
+def get_engine(cache_dir: str | pathlib.Path | None = None,
+               workers: int | None = None,
+               reset: bool = False) -> BatchEngine:
+    """The shared engine (created on first use).  ``reset=True`` or a
+    *different* ``cache_dir`` rebuilds it — e.g. to point tests at a tmp
+    dir; re-passing the current ``cache_dir`` keeps the warm engine."""
+    global _engine
+    requested = pathlib.Path(cache_dir) if cache_dir is not None else None
+    if (_engine is None or reset
+            or (requested is not None
+                and (_engine.cache is None
+                     or _engine.cache.root != requested))):
+        cache = DesignCache(root=requested) if requested is not None \
+            else DesignCache()
+        _engine = BatchEngine(cache=cache, workers=workers)
+    elif workers is not None:
+        _engine.workers = workers
+    return _engine
+
+
+def submit(request: DesignRequest, **engine_kwargs) -> DesignResult:
+    """Generate (or fetch) a single design."""
+    return get_engine(**engine_kwargs).submit(request)
+
+
+def generate_many(requests, workers: int | None = None, progress=None,
+                  **engine_kwargs) -> list[DesignResult]:
+    """Generate a batch of requests (or a whole ``DesignSpace``)."""
+    return get_engine(**engine_kwargs).generate_many(
+        requests, workers=workers, progress=progress)
+
+
+def explore_cached(models, space=None, objective: str = "edp",
+                   area_budget_mm2: float | None = None, tech=None,
+                   workers: int | None = None, **engine_kwargs):
+    """DSE exploration through the shared engine: point evaluations are
+    parallel across ``workers`` and memoized in the design cache."""
+    from ..dse.explorer import explore
+
+    engine = get_engine(**engine_kwargs)
+    return explore(models, space, objective=objective,
+                   area_budget_mm2=area_budget_mm2, tech=tech,
+                   workers=workers or engine.workers, cache=engine.cache)
+
+
+def cache_stats() -> dict:
+    """Counters plus size of the shared engine's cache."""
+    engine = get_engine()
+    stats = engine.cache.stats.as_dict()
+    stats["disk_entries"] = len(engine.cache)
+    stats["root"] = str(engine.cache.root)
+    return stats
+
+
+def clear_cache() -> int:
+    """Empty the shared cache; returns the number of entries removed."""
+    return get_engine().cache.clear()

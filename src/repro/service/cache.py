@@ -1,0 +1,208 @@
+"""Content-addressed design cache: spec-hash → finished design.
+
+Two tiers.  An in-memory LRU (dict of parsed records, bounded by
+``memory_entries``) absorbs the hot loop of a DSE run; an on-disk store
+(``<root>/<hh>/<hash>.json``, bounded by ``disk_entries``, evicted
+oldest-access-first) persists across processes so a warm service start
+never regenerates a design it has seen before.  Corrupted entries are
+deleted and counted, never raised: the cache must always be allowed to
+fall back to regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..serialize import canonical_dumps
+
+__all__ = ["DesignCache", "CacheStats", "default_cache_dir"]
+
+_FORMAT = "lego-cache-v1"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/designs``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache"))
+    return pathlib.Path(xdg) / "repro" / "designs"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    memory_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions,
+                "corrupt": self.corrupt, "memory_hits": self.memory_hits,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+@dataclass
+class DesignCache:
+    """Content-addressed record store keyed by SHA-256 hex digests."""
+
+    root: pathlib.Path = field(default_factory=default_cache_dir)
+    memory_entries: int = 128
+    disk_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = pathlib.Path(self.root)
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        # Approximate on-disk entry count; scanned lazily so put() stays
+        # O(1) until the cache actually nears its bound.
+        self._disk_count: int | None = None
+
+    # -- addressing --------------------------------------------------------
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def keys(self) -> list[str]:
+        """All keys currently on disk (sorted for stable listings)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self.path_for(key).is_file()
+
+    # -- read / write ------------------------------------------------------
+
+    def peek(self, key: str) -> dict | None:
+        """Read a record without touching cache state: no stats, no LRU
+        promotion, no mtime refresh, no corruption cleanup.  For
+        listings and diagnostics only."""
+        try:
+            with open(self.path_for(key)) as fh:
+                wrapper = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if isinstance(wrapper, dict) and wrapper.get("format") == _FORMAT:
+            return wrapper.get("record")
+        return None
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for *key*, or None on miss/corruption."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                wrapper = json.load(fh)
+            if (not isinstance(wrapper, dict)
+                    or wrapper.get("format") != _FORMAT
+                    or "record" not in wrapper):
+                raise ValueError("bad cache wrapper")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, OSError):
+            # Corrupted entry: drop it and let the caller regenerate.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+                if self._disk_count is not None:
+                    self._disk_count = max(0, self._disk_count - 1)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self._remember(key, wrapper["record"])
+        # Refresh mtime so disk eviction approximates LRU, not FIFO.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return wrapper["record"]
+
+    def put(self, key: str, record: dict) -> None:
+        """Store *record* under *key* (atomic write; last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_dumps({"format": _FORMAT, "key": key,
+                                   "record": record})
+        existed = path.is_file()
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        if self._disk_count is not None and not existed:
+            self._disk_count += 1
+        self._remember(key, record)
+        self._evict_disk()
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        n = 0
+        for key in self.keys():
+            try:
+                self.path_for(key).unlink()
+                n += 1
+            except OSError:
+                pass
+        self._memory.clear()
+        self._disk_count = 0
+        return n
+
+    # -- eviction ----------------------------------------------------------
+
+    def _remember(self, key: str, record: dict) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _evict_disk(self) -> None:
+        if self._disk_count is None:
+            self._disk_count = len(self.keys())
+        if self._disk_count <= self.disk_entries:
+            return
+        paths = [self.path_for(k) for k in self.keys()]
+        excess = len(paths) - self.disk_entries
+        def mtime(p: pathlib.Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(paths, key=mtime)[:max(excess, 0)]:
+            try:
+                path.unlink()
+                self.stats.evictions += 1
+            except OSError:
+                pass
+            self._memory.pop(path.stem, None)
+        self._disk_count = len(paths) - max(excess, 0)

@@ -1,0 +1,239 @@
+"""Batch-generation engine: cache-first, multiprocessing fan-out.
+
+``generate_many`` takes a list of :class:`DesignRequest` (or a whole
+:class:`~repro.dse.explorer.DesignSpace`), answers what it can from the
+cache, deduplicates identical requests within the batch, and fans the
+remaining cold work across a worker pool.  Per-request failures are
+captured in the result, never raised — a thousand-design sweep must not
+die on design #713.
+
+The same engine also memoizes DSE point evaluations
+(:func:`evaluate_archs`), which is how ``dse.explorer.explore`` gets its
+``workers=``/``cache=`` parameters without knowing about this module's
+internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+from collections import Counter
+from typing import Callable, Iterable, Sequence
+
+from ..serialize import canonical_dumps
+from .cache import DesignCache
+from .spec import DesignRequest, DesignResult, execute_request
+
+__all__ = ["BatchEngine", "requests_from_space", "evaluate_archs"]
+
+#: DSE dataflow names → (kernel, generator dataflow names).
+_DSE_DATAFLOW_MAP = {
+    "MN": ("gemm", "IJ"),
+    "ICOC": ("conv2d", "ICOC"),
+    "OHOW": ("conv2d", "OHOW"),
+    "OCOH": ("conv2d", "OCOH"),
+    "KHOH": ("conv2d", "KHOH"),
+}
+
+
+def _pool_context():
+    try:  # fork is cheap and keeps imports warm; spawn is the fallback
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def _run_request_payload(payload: dict) -> tuple[str, dict]:
+    """Worker entry point: rebuild the request, run it, return the cache
+    record.  Top-level so it pickles under both fork and spawn."""
+    request = DesignRequest.from_dict(payload)
+    result = execute_request(request)
+    return result.spec_hash, result.to_record()
+
+
+def requests_from_space(space, options=None) -> list[DesignRequest]:
+    """Translate every architecture point of a DSE ``DesignSpace`` into
+    generator requests (one per kernel family present in its dataflow
+    set), deduplicated — buffer/bandwidth axes do not change the RTL."""
+    seen: dict[str, DesignRequest] = {}
+    for arch in space.points():
+        per_kernel: dict[str, list[str]] = {}
+        for name in arch.dataflows:
+            kernel, df = _DSE_DATAFLOW_MAP.get(name, (None, None))
+            if kernel is not None and df not in per_kernel.setdefault(
+                    kernel, []):
+                per_kernel[kernel].append(df)
+        for kernel, dfs in sorted(per_kernel.items()):
+            req = DesignRequest(kernel=kernel, dataflows=tuple(dfs),
+                                array=arch.array)
+            seen.setdefault(req.spec_hash(), req)
+    return list(seen.values())
+
+
+class BatchEngine:
+    """Cache-consulting, parallel executor for design requests."""
+
+    def __init__(self, cache: DesignCache | None = None,
+                 workers: int | None = None):
+        self.cache = cache
+        self.workers = workers or 1
+
+    # -- single request ----------------------------------------------------
+
+    def submit(self, request: DesignRequest) -> DesignResult:
+        return self.generate_many([request])[0]
+
+    # -- batch -------------------------------------------------------------
+
+    def generate_many(self, requests,
+                      workers: int | None = None,
+                      progress: Callable[[int, int, DesignResult], None]
+                      | None = None) -> list[DesignResult]:
+        """Generate every request, cache-first; results in input order.
+
+        *requests* may be an iterable of :class:`DesignRequest` or a
+        ``DesignSpace`` (translated via :func:`requests_from_space`).
+        """
+        requests = self._as_requests(requests)
+        workers = workers if workers is not None else self.workers
+        hashes = [r.spec_hash() for r in requests]
+        occurrences = Counter(hashes)
+        total = len(requests)
+        done = 0
+        resolved: dict[str, DesignResult] = {}
+
+        def report(result: DesignResult) -> None:
+            # One progress tick per *request*, so `done` reaches `total`
+            # even when requests are cache hits or in-batch duplicates.
+            nonlocal done
+            for _ in range(occurrences[result.spec_hash]):
+                done += 1
+                if progress is not None:
+                    progress(done, total, result)
+
+        # 1. cache pass + in-batch dedup
+        cold: list[DesignRequest] = []
+        cold_keys: set[str] = set()
+        for req, key in zip(requests, hashes):
+            if key in resolved or key in cold_keys:
+                continue
+            record = self.cache.get(key) if self.cache is not None else None
+            if record is not None:
+                resolved[key] = DesignResult.from_record(key, record)
+                report(resolved[key])
+            else:
+                cold.append(req)
+                cold_keys.add(key)
+
+        # 2. fan the cold set out
+        for key, record in self._execute(cold, workers):
+            result = DesignResult.from_record(key, record, from_cache=False)
+            resolved[key] = result
+            if self.cache is not None and result.ok:
+                self.cache.put(key, record)
+            report(result)
+
+        return [resolved[key] for key in hashes]
+
+    def _execute(self, cold: Sequence[DesignRequest],
+                 workers: int) -> Iterable[tuple[str, dict]]:
+        payloads = [r.to_dict() for r in cold]
+        if workers <= 1 or len(cold) <= 1:
+            for payload in payloads:
+                yield _run_request_payload(payload)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(cold))) as pool:
+            yield from pool.imap(_run_request_payload, payloads,
+                                 chunksize=1)
+
+    @staticmethod
+    def _as_requests(requests) -> list[DesignRequest]:
+        if hasattr(requests, "points") and hasattr(requests, "size"):
+            return requests_from_space(requests)
+        return list(requests)
+
+
+# ---------------------------------------------------------------------------
+# DSE point evaluation (the explorer's hot loop) through the same cache.
+# ---------------------------------------------------------------------------
+
+def _model_fingerprint(model) -> str:
+    # Dataclass repr of names/ints/floats: deterministic across processes.
+    return hashlib.sha256(repr(model).encode()).hexdigest()
+
+
+def _eval_key(model_fingerprints: list[str], arch, tech) -> str:
+    payload = {
+        "kind": "eval-v1",
+        "models": model_fingerprints,
+        "arch": dataclasses.asdict(arch),
+        "tech": repr(tech),
+    }
+    return hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+
+
+def _eval_arch(models, arch, tech) -> dict:
+    """Aggregate cycles/energy/ops of *models* on one arch."""
+    from ..sim.perf_model import evaluate_model
+
+    cycles = energy = ops = 0.0
+    for model in models:
+        perf = evaluate_model(model, arch, tech)
+        cycles += perf.total_cycles
+        energy += perf.total_energy_pj
+        ops += perf.total_ops
+    return {"kind": "eval-v1", "cycles": cycles, "energy_pj": energy,
+            "ops": ops}
+
+
+# Models are invariant across a sweep; ship them to each worker once via
+# the pool initializer instead of re-pickling them into every job.
+_WORKER_MODELS: list | None = None
+
+
+def _init_eval_worker(models) -> None:
+    global _WORKER_MODELS
+    _WORKER_MODELS = models
+
+
+def _eval_arch_pooled(args) -> dict:
+    arch, tech = args
+    return _eval_arch(_WORKER_MODELS, arch, tech)
+
+
+def evaluate_archs(models, archs, tech,
+                   workers: int = 1,
+                   cache: DesignCache | None = None) -> list[dict]:
+    """Evaluate *models* on every architecture in *archs*; returns one
+    ``{"cycles", "energy_pj", "ops"}`` row per arch, in order.  Rows are
+    served from *cache* when possible and computed in parallel when
+    ``workers > 1``."""
+    models = list(models)
+    archs = list(archs)
+    fingerprints = [_model_fingerprint(m) for m in models]
+    keys = [_eval_key(fingerprints, arch, tech) for arch in archs]
+    rows: dict[int, dict] = {}
+    cold: list[int] = []
+    for i, key in enumerate(keys):
+        record = cache.get(key) if cache is not None else None
+        if record is not None and record.get("kind") == "eval-v1":
+            rows[i] = record
+        else:
+            cold.append(i)
+
+    if workers <= 1 or len(cold) <= 1:
+        computed = [_eval_arch(models, archs[i], tech) for i in cold]
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(cold)),
+                      initializer=_init_eval_worker,
+                      initargs=(models,)) as pool:
+            computed = pool.map(_eval_arch_pooled,
+                                [(archs[i], tech) for i in cold])
+    for i, record in zip(cold, computed):
+        rows[i] = record
+        if cache is not None:
+            cache.put(keys[i], record)
+    return [rows[i] for i in range(len(archs))]

@@ -1,0 +1,243 @@
+"""Canonical, hashable design requests and their results.
+
+A :class:`DesignRequest` captures everything that determines a generated
+design — kernel, dataflow set, FU array shape, workload bound overrides,
+backend options, and frontend tunables — in a frozen dataclass with a
+deterministic JSON form.  Its SHA-256 content hash is the identity under
+which the cache stores the finished design, so two processes that build
+the same request always agree on the address.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from dataclasses import dataclass, field, fields
+
+from ..backend import BackendOptions
+from ..core.frontend import FrontendConfig
+from ..serialize import canonical_dumps
+
+__all__ = ["DesignRequest", "DesignResult", "execute_request",
+           "SUPPORTED_KERNELS"]
+
+SUPPORTED_KERNELS = ("gemm", "conv2d", "mttkrp", "attention")
+
+
+def _options_to_dict(options: BackendOptions) -> dict:
+    return {f.name: getattr(options, f.name) for f in fields(BackendOptions)}
+
+
+def _frontend_to_dict(config: FrontendConfig) -> dict:
+    return {f.name: getattr(config, f.name) for f in fields(FrontendConfig)}
+
+
+@dataclass(frozen=True)
+class DesignRequest:
+    """One fully-specified generation job.
+
+    ``bounds`` overrides the array-derived workload bounds by dimension
+    name (e.g. ``(("k", 32),)`` for GEMM); it is kept as a sorted tuple
+    of pairs so equal requests hash equally regardless of the order the
+    caller supplied them in.
+    """
+
+    kernel: str = "gemm"
+    dataflows: tuple[str, ...] = ("KJ",)
+    array: tuple[int, int] = (8, 8)
+    systolic: bool = True
+    bounds: tuple[tuple[str, int], ...] = ()
+    options: BackendOptions = field(default_factory=BackendOptions)
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    module: str = "lego_top"
+
+    def __post_init__(self):
+        object.__setattr__(self, "dataflows", tuple(self.dataflows))
+        object.__setattr__(self, "array", tuple(self.array))
+        if isinstance(self.bounds, dict):
+            items = self.bounds.items()
+        else:
+            items = self.bounds
+        object.__setattr__(
+            self, "bounds",
+            tuple(sorted((str(k), int(v)) for k, v in items)))
+        if self.kernel not in SUPPORTED_KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; "
+                             f"expected one of {SUPPORTED_KERNELS}")
+        if self.kernel == "attention":
+            # The attention dataflow pair is fixed (QK then PV, §II);
+            # normalize so equal designs hash equally whatever the
+            # caller passed in `dataflows`.
+            object.__setattr__(self, "dataflows", ("QK", "PV"))
+        if len(self.array) != 2 or any(p < 1 for p in self.array):
+            raise ValueError(f"array must be two positive ints, "
+                             f"got {self.array!r}")
+
+    # -- canonical form ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "lego-request-v1",
+            "kernel": self.kernel,
+            "dataflows": list(self.dataflows),
+            "array": list(self.array),
+            "systolic": self.systolic,
+            "bounds": {k: v for k, v in self.bounds},
+            "options": _options_to_dict(self.options),
+            "frontend": _frontend_to_dict(self.frontend),
+            "module": self.module,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignRequest":
+        if data.get("format", "lego-request-v1") != "lego-request-v1":
+            raise ValueError("not a LEGO design request")
+        return cls(
+            kernel=data["kernel"],
+            dataflows=tuple(data["dataflows"]),
+            array=tuple(data["array"]),
+            systolic=data.get("systolic", True),
+            bounds=tuple((k, v) for k, v in
+                         sorted(data.get("bounds", {}).items())),
+            options=BackendOptions(**data.get("options", {})),
+            frontend=FrontendConfig(**data.get("frontend", {})),
+            module=data.get("module", "lego_top"),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization — the hashed identity."""
+        return canonical_dumps(self.to_dict())
+
+    def spec_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- workload construction --------------------------------------------
+
+    def build_dataflows(self):
+        """Materialize the workload + dataflow list this request names,
+        mirroring (and replacing) the ad-hoc construction the CLI used."""
+        from ..core import kernels
+        from ..core.dataflow import Dataflow
+
+        p0, p1 = self.array
+        over = dict(self.bounds)
+
+        def bound(name: str, default: int) -> int:
+            return int(over.get(name, default))
+
+        if self.kernel == "gemm":
+            wl = kernels.gemm(bound("m", 4 * p0), bound("n", 4 * p1),
+                              bound("k", 4 * max(p0, p1)))
+            return [kernels.gemm_dataflow(k, wl, p0, p1,
+                                          systolic=self.systolic)
+                    for k in self.dataflows]
+        if self.kernel == "conv2d":
+            wl = kernels.conv2d(
+                bound("n", 1), bound("oc", 2 * p0), bound("ic", 2 * p1),
+                bound("oh", 2 * p0), bound("ow", 2 * p1),
+                bound("kh", 3), bound("kw", 3))
+            return [kernels.conv2d_dataflow(k, wl, p0, p1)
+                    for k in self.dataflows]
+        if self.kernel == "mttkrp":
+            wl = kernels.mttkrp(bound("i", 4 * p0), bound("j", 4 * p1),
+                                bound("k", 2 * p0), bound("l", 2 * p1))
+            return [kernels.mttkrp_dataflow(k, wl, p0, p1,
+                                            systolic=self.systolic)
+                    for k in self.dataflows]
+        # attention: the fused QK/PV contraction pair; the dataflow list
+        # is fixed by the kernel (softmax runs on the PPU).
+        heads = bound("h", 2)
+        qk = kernels.attention_qk(heads, bound("q", 2 * p0),
+                                  bound("k", 2 * p1), bound("d", 2 * p1))
+        pv = kernels.attention_pv(heads, bound("q", 2 * p0),
+                                  bound("k", 2 * p1), bound("d", 2 * p1))
+        control = (1, 1) if self.systolic else (0, 0)
+        return [
+            Dataflow.build(qk, spatial=[("q", p0), ("k", p1)],
+                           control=control, name="Attn-QK"),
+            Dataflow.build(pv, spatial=[("q", p0), ("d", p1)],
+                           control=control, name="Attn-PV"),
+        ]
+
+
+@dataclass
+class DesignResult:
+    """The finished (or failed) product of one :class:`DesignRequest`."""
+
+    spec_hash: str
+    request: DesignRequest
+    design: dict | None = None
+    rtl: str = ""
+    summary: str = ""
+    elapsed_s: float = 0.0
+    from_cache: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def design_bytes(self) -> bytes:
+        """Canonical byte form of the serialized design (for identity
+        checks: equal designs compare byte-equal)."""
+        return canonical_dumps(self.design).encode()
+
+    def to_record(self) -> dict:
+        return {
+            "request": self.request.to_dict(),
+            "design": self.design,
+            "rtl": self.rtl,
+            "summary": self.summary,
+            "elapsed_s": self.elapsed_s,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, spec_hash: str, record: dict,
+                    from_cache: bool = True) -> "DesignResult":
+        return cls(spec_hash=spec_hash,
+                   request=DesignRequest.from_dict(record["request"]),
+                   design=record["design"],
+                   rtl=record["rtl"],
+                   summary=record["summary"],
+                   elapsed_s=record.get("elapsed_s", 0.0),
+                   from_cache=from_cache,
+                   error=record.get("error"))
+
+
+def execute_request(request: DesignRequest) -> DesignResult:
+    """Run the full frontend→backend flow for one request.
+
+    Failures are captured, not raised: a batch must survive one bad
+    request, and the caller decides what to do with the error string.
+    """
+    from ..backend import generate, run_backend
+    from ..backend.verilog import emit_verilog
+    from ..core.frontend import build_adg
+    from ..report import design_summary
+    from ..serialize import design_to_dict
+
+    start = time.perf_counter()
+    spec_hash = request.spec_hash()
+    try:
+        dataflows = request.build_dataflows()
+        design = run_backend(generate(build_adg(dataflows,
+                                                request.frontend)),
+                             request.options)
+        return DesignResult(
+            spec_hash=spec_hash,
+            request=request,
+            design=design_to_dict(design),
+            rtl=emit_verilog(design, module_name=request.module),
+            summary=design_summary(design),
+            elapsed_s=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 — per-request capture is the point
+        return DesignResult(
+            spec_hash=spec_hash,
+            request=request,
+            elapsed_s=time.perf_counter() - start,
+            error="".join(traceback.format_exception_only(type(exc),
+                                                          exc)).strip(),
+        )
