@@ -1,0 +1,85 @@
+"""ROADMAP "Smarter DSE" — guided search strategies over the warm cache.
+
+The paper runs LEGO *in series* with DSE frameworks (§VII-a); the design
+cache made repeated point evaluations nearly free, and the pluggable
+strategies (`repro.dse.strategies`) exploit that.  This benchmark pits
+``SimulatedAnnealing`` and ``SuccessiveHalving`` against the
+``Exhaustive`` baseline on a 60-point space and reports evals-used vs
+best-EDP-found, cold and warm:
+
+* each guided strategy must land within 5% of the exhaustive-best EDP
+  while spending at most 40% of the exhaustive evaluation budget, and
+* a repeated guided run against the now-warm cache must be >= 10x
+  faster than its cold counterpart.
+"""
+
+import time
+
+from conftest import record_table
+from repro.dse import DesignSpace, run_search
+from repro.models import zoo
+from repro.service.cache import DesignCache
+
+SPACE = DesignSpace(
+    arrays=((8, 8), (16, 16), (8, 32), (32, 8), (16, 32)),
+    buffer_kb=(128.0, 256.0, 512.0),
+)
+SEED = 0
+
+
+def _timed(models, cache=None, **kwargs):
+    start = time.perf_counter()
+    result = run_search(models, SPACE, cache=cache, seed=SEED, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_guided_strategies(benchmark, tmp_path):
+    models = [zoo.resnet50(), zoo.bert_base()]
+
+    exhaustive, t_exhaustive = _timed(models, strategy="exhaustive")
+    budget = int(0.4 * exhaustive.evals_used) - 2
+
+    anneal, t_anneal = _timed(models, strategy="anneal", max_evals=budget)
+    halving, t_halving = _timed(models, strategy="halving")
+
+    # Warm revisit: same guided search, twice, against one disk cache.
+    cold, t_cold = _timed(models, strategy="anneal", max_evals=budget,
+                          cache=DesignCache(root=tmp_path / "dse"))
+
+    def warm_run():
+        return _timed(models, strategy="anneal", max_evals=budget,
+                      cache=DesignCache(root=tmp_path / "dse"))
+
+    warm, t_warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    speedup = t_cold / t_warm
+
+    best_edp = exhaustive.best.edp
+    lines = [f"space: {SPACE.size()} points, models: "
+             + ", ".join(m.name for m in models),
+             f"{'strategy':12s}{'evals':>8s}{'of exh.':>9s}{'best EDP':>12s}"
+             f"{'gap':>8s}{'time':>8s}"]
+    for result, elapsed in ((exhaustive, t_exhaustive), (anneal, t_anneal),
+                            (halving, t_halving)):
+        share = result.evals_used / exhaustive.evals_used
+        gap = result.best.edp / best_edp - 1.0
+        lines.append(f"{result.strategy:12s}{result.evals_used:8.1f}"
+                     f"{share:9.1%}{result.best.edp:12.3e}{gap:8.2%}"
+                     f"{elapsed:7.2f}s")
+    lines.append(f"warm anneal revisit: {t_cold:.3f}s -> {t_warm:.3f}s "
+                 f"({speedup:.1f}x)")
+    record_table("dse_strategies",
+                 "Guided DSE strategies vs exhaustive sweep", lines)
+
+    assert exhaustive.points_evaluated == len(
+        [a for a in SPACE.points()])
+    for result in (anneal, halving):
+        assert result.best.edp <= 1.05 * best_edp, result.strategy
+        assert result.evals_used <= 0.4 * exhaustive.evals_used, \
+            result.strategy
+    assert warm.best.arch == cold.best.arch
+    assert speedup >= 10.0
+    benchmark.extra_info["anneal_share"] = \
+        anneal.evals_used / exhaustive.evals_used
+    benchmark.extra_info["halving_share"] = \
+        halving.evals_used / exhaustive.evals_used
+    benchmark.extra_info["warm_speedup"] = speedup

@@ -2,12 +2,16 @@
 
 Search array shapes x buffer sizes x dataflow sets for ResNet50 under an
 area budget, print the latency/energy Pareto frontier, then generate the
-RTL of the winner — the Timeloop+LEGO loop the paper describes.
+RTL of the winner — the Timeloop+LEGO loop the paper describes.  The
+second half re-runs the search under the guided strategies
+(`repro.dse.strategies`), which find the same winner on a fraction of
+the evaluation budget.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.dse.explorer import DesignSpace, explore, generate_winner, pareto_front
+from repro.dse.explorer import DesignSpace, generate_winner, pareto_front
+from repro.dse.strategies import run_search
 from repro.models import zoo
 
 
@@ -17,9 +21,11 @@ def main() -> None:
         buffer_kb=(128.0, 256.0),
         dataflow_sets=(("ICOC",), ("MN", "ICOC"), ("MN", "ICOC", "OCOH")),
     )
+    models = [zoo.resnet50()]
     print(f"exploring {space.size()} design points on ResNet50 ...")
-    points = explore([zoo.resnet50()], space, objective="edp",
-                     area_budget_mm2=5.0)
+    exhaustive = run_search(models, space, objective="edp",
+                            area_budget_mm2=5.0)
+    points = exhaustive.points
 
     front = pareto_front(points)
     print(f"\nlatency/energy Pareto frontier ({len(front)} of "
@@ -28,6 +34,17 @@ def main() -> None:
     for p in front:
         print(f"{p.arch.name:30s}{p.gops:8.1f}{p.gops_per_watt:9.0f}"
               f"{p.energy_pj / 1e9:11.2f}")
+
+    print("\nguided strategies reach the same neighbourhood on a "
+          "fraction of the budget:")
+    for strategy in ("anneal", "halving"):
+        guided = run_search(models, space, strategy=strategy,
+                            objective="edp", area_budget_mm2=5.0,
+                            max_evals=max(2, space.size() // 3))
+        gap = guided.best.edp / exhaustive.best.edp - 1.0
+        print(f"  {guided.strategy:10s} {guided.evals_used:5.1f} evals "
+              f"(exhaustive: {exhaustive.evals_used:.0f})  "
+              f"best {guided.best.arch.name}  EDP gap {gap:+.1%}")
 
     winner = points[0]
     print(f"\nEDP winner: {winner.arch.name} — generating its RTL ...")

@@ -15,7 +15,7 @@ from .core import AffineMap, BodyOp, Dataflow, TensorAccess, Workload
 from .core import kernels
 from .core.frontend import FrontendConfig, build_adg
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = ["AffineMap", "Workload", "TensorAccess", "BodyOp", "Dataflow",
            "kernels", "build_adg", "FrontendConfig", "generate",

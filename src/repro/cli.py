@@ -7,7 +7,8 @@ Commands
                Verilog plus a design summary (service-cached);
 ``batch``      generate many designs at once across a worker pool;
 ``evaluate``   end-to-end model performance on a named architecture;
-``explore``    design-space exploration with a Pareto report;
+``explore``    design-space exploration with a Pareto report, under a
+               pluggable search strategy (``--strategy``/``--max-evals``);
 ``cache``      inspect, list, or clear the content-addressed design cache.
 """
 
@@ -223,16 +224,25 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from .dse.explorer import DesignSpace, explore, pareto_front
+    from .dse.explorer import DesignSpace, pareto_front
+    from .dse.strategies import run_search
     from .models import zoo
 
     engine = _build_engine(args)
     models = [zoo.MODEL_BUILDERS[name]() for name in args.models]
-    points = explore(models, DesignSpace(), objective=args.objective,
-                     area_budget_mm2=args.area_budget,
-                     workers=args.workers, cache=engine.cache)
+    result = run_search(models, DesignSpace(), strategy=args.strategy,
+                        objective=args.objective,
+                        area_budget_mm2=args.area_budget,
+                        workers=args.workers, cache=engine.cache,
+                        max_evals=args.max_evals, seed=args.seed)
+    points = result.points
     front = pareto_front(points)
-    print(f"explored {len(points)} design points; Pareto frontier:")
+    print(f"strategy {result.strategy}: evaluated "
+          f"{result.points_evaluated}/{result.space_size} design points "
+          f"(cost {result.evals_used:.2f} full-model evals)"
+          + (f", skipped {result.degenerate_skipped} degenerate"
+             if result.degenerate_skipped else ""))
+    print(f"Pareto frontier ({len(front)} of {len(points)} points):")
     print(f"{'design':28s}{'GOP/s':>9s}{'GOPS/W':>9s}{'EDP':>12s}")
     for p in front:
         print(f"{p.arch.name:28s}{p.gops:9.1f}{p.gops_per_watt:9.0f}"
@@ -245,7 +255,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (also introspected by the docs-sync test
+    and the ``docs/cli.md`` reference)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="LEGO spatial accelerator generator "
         "(HPCA'25 reproduction)")
@@ -306,6 +318,17 @@ def main(argv: list[str] | None = None) -> int:
     ex.add_argument("--models", nargs="+", default=["ResNet50"])
     ex.add_argument("--objective", default="edp",
                     choices=["edp", "latency", "energy", "throughput"])
+    ex.add_argument("--strategy", default="exhaustive",
+                    choices=["exhaustive", "anneal", "halving"],
+                    help="search strategy: exhaustive sweep, simulated "
+                    "annealing over the design axes, or successive "
+                    "halving on a cheap proxy")
+    ex.add_argument("--max-evals", type=int, default=None, metavar="N",
+                    help="evaluation budget for the guided strategies, in "
+                    "full-model-evaluation units (default: "
+                    "strategy-specific)")
+    ex.add_argument("--seed", type=int, default=0,
+                    help="RNG seed for the stochastic strategies")
     ex.add_argument("--area-budget", type=float, default=None,
                     metavar="MM2", help="screen out points whose MAC+SRAM "
                     "area exceeds this many mm^2")
@@ -313,8 +336,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="worker processes for point evaluation")
     _add_cache_flags(ex)
     ex.set_defaults(func=_cmd_explore)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

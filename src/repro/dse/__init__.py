@@ -1,6 +1,13 @@
 """Design-space exploration on top of the LEGO models."""
 
-from .explorer import DesignPoint, DesignSpace, explore, generate_winner, pareto_front
+from .explorer import (DesignPoint, DesignSpace, explore, generate_winner,
+                       pareto_front)
+from .strategies import (OBJECTIVES, STRATEGIES, Exhaustive, PointEvaluator,
+                         SearchResult, SearchStrategy, SimulatedAnnealing,
+                         SuccessiveHalving, get_strategy, run_search)
 
 __all__ = ["DesignPoint", "DesignSpace", "explore", "pareto_front",
-           "generate_winner"]
+           "generate_winner",
+           "OBJECTIVES", "STRATEGIES", "SearchStrategy", "SearchResult",
+           "PointEvaluator", "Exhaustive", "SimulatedAnnealing",
+           "SuccessiveHalving", "get_strategy", "run_search"]

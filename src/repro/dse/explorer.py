@@ -41,7 +41,13 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class DesignSpace:
-    """The searchable axes.  Cartesian product, optionally subsampled."""
+    """The searchable axes.  Cartesian product, optionally subsampled.
+
+    >>> DesignSpace(arrays=((8, 8),), buffer_kb=(128.0,)).size()
+    4
+    >>> DesignSpace().point_at((0, 0, 0, 0)).name
+    'lego_8x8_128kb_I'
+    """
 
     arrays: tuple[tuple[int, int], ...] = ((8, 8), (16, 16), (8, 32), (32, 8))
     buffer_kb: tuple[float, ...] = (128.0, 256.0, 512.0)
@@ -50,15 +56,28 @@ class DesignSpace:
         ("ICOC",), ("MN",), ("MN", "ICOC"), ("MN", "ICOC", "OCOH"))
     freq_mhz: float = 1000.0
 
+    def axes(self) -> tuple[tuple, ...]:
+        """The four searchable axes, in :meth:`point_at` index order."""
+        return (self.arrays, self.buffer_kb, self.dram_gbps,
+                self.dataflow_sets)
+
+    def point_at(self, idx: tuple[int, int, int, int]) -> ArchPerf:
+        """The architecture at one index per axis — the coordinate system
+        the guided strategies (`dse.strategies`) move through."""
+        array = self.arrays[idx[0]]
+        buf = self.buffer_kb[idx[1]]
+        bw = self.dram_gbps[idx[2]]
+        dfs = self.dataflow_sets[idx[3]]
+        name = (f"lego_{array[0]}x{array[1]}_{int(buf)}kb_"
+                + "".join(d[0] for d in dfs))
+        return ArchPerf(name=name, array=array, buffer_kb=buf,
+                        dram_gbps=bw, freq_mhz=self.freq_mhz,
+                        dataflows=dfs)
+
     def points(self):
-        for array, buf, bw, dfs in itertools.product(
-                self.arrays, self.buffer_kb, self.dram_gbps,
-                self.dataflow_sets):
-            name = (f"lego_{array[0]}x{array[1]}_{int(buf)}kb_"
-                    + "".join(d[0] for d in dfs))
-            yield ArchPerf(name=name, array=array, buffer_kb=buf,
-                           dram_gbps=bw, freq_mhz=self.freq_mhz,
-                           dataflows=dfs)
+        for idx in itertools.product(
+                *(range(len(axis)) for axis in self.axes())):
+            yield self.point_at(idx)
 
     def size(self) -> int:
         return (len(self.arrays) * len(self.buffer_kb)
@@ -69,51 +88,34 @@ def explore(models, space: DesignSpace | None = None,
             objective: str = "edp",
             area_budget_mm2: float | None = None,
             tech=None, workers: int = 1,
-            cache=None) -> list[DesignPoint]:
-    """Evaluate every point of *space* on *models* (a list of zoo models);
-    returns points sorted best-first by *objective*
+            cache=None, strategy="exhaustive",
+            max_evals: int | None = None,
+            seed: int = 0) -> list[DesignPoint]:
+    """Search *space* on *models* (a list of zoo models); returns the
+    evaluated points sorted best-first by *objective*
     (``edp`` | ``latency`` | ``energy`` | ``throughput``).
+
+    *strategy* picks the search policy — ``"exhaustive"`` (default,
+    every feasible point), ``"anneal"`` or ``"halving"``, or any
+    :class:`~repro.dse.strategies.SearchStrategy` instance — and
+    *max_evals* bounds the full-fidelity evaluation budget of the guided
+    strategies.  Degenerate points (zero cycles or energy) are skipped
+    rather than reported as bogus 1-watt designs.
 
     Point evaluations route through the service engine: ``workers > 1``
     fans them across a process pool, and passing a
     :class:`~repro.service.cache.DesignCache` memoizes them so repeated
     explorations (the LEGO-in-series-with-DSE loop) skip re-evaluation.
+    Use :func:`repro.dse.strategies.run_search` for the evals-used /
+    space-coverage accounting alongside the points.
     """
-    from ..service.engine import evaluate_archs
-    from ..sim.energy_model import TSMC28, sram_model
+    from .strategies import run_search
 
-    space = space or DesignSpace()
-    tech = tech or TSMC28
-    archs = []
-    for arch in space.points():
-        if area_budget_mm2 is not None:
-            # Cheap screen: MACs + SRAM must fit the budget.
-            mac_area = arch.n_fus * tech.mult_area_per_bit2 * 64
-            sram_area = sram_model(tech, arch.buffer_kb, 64, 16)["area_um2"]
-            if (mac_area + sram_area) / 1e6 > area_budget_mm2:
-                continue
-        archs.append(arch)
-
-    points: list[DesignPoint] = []
-    rows = evaluate_archs(models, archs, tech, workers=workers, cache=cache)
-    for arch, row in zip(archs, rows):
-        cycles, energy, ops = row["cycles"], row["energy_pj"], row["ops"]
-        seconds = cycles / (arch.freq_mhz * 1e6)
-        gops = ops / seconds / 1e9 if seconds else 0.0
-        watts = energy * 1e-12 / seconds if seconds else 1.0
-        points.append(DesignPoint(arch=arch, gops=gops,
-                                  gops_per_watt=gops / watts if watts else 0.0,
-                                  cycles=cycles, energy_pj=energy))
-    keys = {
-        "edp": lambda p: p.edp,
-        "latency": lambda p: p.cycles,
-        "energy": lambda p: p.energy_pj,
-        "throughput": lambda p: -p.gops,
-    }
-    if objective not in keys:
-        raise ValueError(f"unknown objective {objective!r}; "
-                         f"expected {sorted(keys)}")
-    return sorted(points, key=keys[objective])
+    return run_search(models, space, strategy=strategy,
+                      objective=objective,
+                      area_budget_mm2=area_budget_mm2, tech=tech,
+                      workers=workers, cache=cache, max_evals=max_evals,
+                      seed=seed).points
 
 
 def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:

@@ -54,15 +54,23 @@ def generate_many(requests, workers: int | None = None, progress=None,
 
 def explore_cached(models, space=None, objective: str = "edp",
                    area_budget_mm2: float | None = None, tech=None,
-                   workers: int | None = None, **engine_kwargs):
-    """DSE exploration through the shared engine: point evaluations are
-    parallel across ``workers`` and memoized in the design cache."""
-    from ..dse.explorer import explore
+                   workers: int | None = None, strategy="exhaustive",
+                   max_evals: int | None = None, seed: int = 0,
+                   **engine_kwargs):
+    """DSE search through the shared engine: point evaluations are
+    parallel across ``workers`` and memoized in the design cache, so a
+    guided *strategy* (``"anneal"``, ``"halving"``, or a
+    :class:`~repro.dse.strategies.SearchStrategy` instance) revisits
+    warm points for free.  Returns the full
+    :class:`~repro.dse.strategies.SearchResult` (points + evals-used)."""
+    from ..dse.strategies import run_search
 
     engine = get_engine(**engine_kwargs)
-    return explore(models, space, objective=objective,
-                   area_budget_mm2=area_budget_mm2, tech=tech,
-                   workers=workers or engine.workers, cache=engine.cache)
+    return run_search(models, space, strategy=strategy,
+                      objective=objective,
+                      area_budget_mm2=area_budget_mm2, tech=tech,
+                      workers=workers or engine.workers,
+                      cache=engine.cache, max_evals=max_evals, seed=seed)
 
 
 def cache_stats() -> dict:

@@ -383,8 +383,14 @@ class TestFacade:
         api.get_engine(cache_dir=tmp_path / "cache")
         space = DesignSpace(arrays=((8, 8),), buffer_kb=(128.0,),
                             dataflow_sets=(("ICOC",),))
-        points = api.explore_cached([zoo.lenet()], space, workers=1)
-        assert len(points) == 1
+        result = api.explore_cached([zoo.lenet()], space, workers=1)
+        assert len(result.points) == 1
+        assert result.strategy == "exhaustive"
+        assert result.evals_used == 1.0
+        # A warm re-run under a guided strategy is answered by the cache.
+        warm = api.explore_cached([zoo.lenet()], space, strategy="anneal",
+                                  max_evals=1)
+        assert warm.best.arch == result.best.arch
         api.get_engine(reset=True)
 
     def test_execute_request_direct(self):
