@@ -1,0 +1,146 @@
+"""Serving latency/throughput: warm p50/p99 under concurrent clients.
+
+The async front end exists so design requests stream in and out instead
+of arriving as one blocking batch — and so nobody pays a Python
+interpreter start per design.  This benchmark boots a real server on an
+ephemeral port and measures, against the same warm cache:
+
+1. a **serial HTTP client loop** (one persistent connection, one
+   request at a time);
+2. **N concurrent client processes** hammering the warm path, with
+   per-request p50/p99;
+3. the **pre-serving workflow** this front end replaces: a serial
+   process-per-request loop (one ``repro generate`` CLI invocation per
+   design, each paying interpreter + import + cache-open).
+
+The acceptance bar is that warm concurrent serving beats the serial
+process-per-request client loop by >= 5x.  On multi-core hosts the
+concurrent/serial-HTTP ratio also rises (the single-core ceiling is the
+event loop itself; ``repro serve --processes N`` shards it).
+"""
+
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from conftest import record_table
+from repro.service import BatchEngine, DesignCache, ServerThread, ServiceClient
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+WARM_REQUESTS = [{"kernel": "gemm", "dataflows": [d], "array": [2, 2]}
+                 for d in ("KJ", "IJ", "IK")]
+N_SERIAL = 300
+N_CLIENTS = 8
+N_PER_CLIENT = 150
+N_CLI_LOOP = 6
+
+
+def _client_worker(port, n_requests, out_queue):
+    """One concurrent client process: persistent connection, warm hits."""
+    client = ServiceClient(port=port)
+    latencies = []
+    spec = WARM_REQUESTS[0]
+    for _ in range(n_requests):
+        start = time.perf_counter()
+        result = client.generate(spec)
+        latencies.append(time.perf_counter() - start)
+        assert result["ok"] and result["from_cache"]
+    client.close()
+    out_queue.put(latencies)
+
+
+def _percentile(sorted_values, fraction):
+    return sorted_values[min(int(len(sorted_values) * fraction),
+                             len(sorted_values) - 1)]
+
+
+def test_serving_latency(benchmark, tmp_path):
+    cache_root = tmp_path / "cache"
+    engine = BatchEngine(cache=DesignCache(root=cache_root))
+    with ServerThread(engine) as url:
+        port = int(url.rsplit(":", 1)[1])
+        client = ServiceClient(port=port)
+        for spec in WARM_REQUESTS:  # prime the cache
+            assert client.generate(spec)["ok"]
+
+        # 1. serial HTTP loop (persistent connection)
+        start = time.perf_counter()
+        for i in range(N_SERIAL):
+            result = client.generate(WARM_REQUESTS[i % len(WARM_REQUESTS)])
+            assert result["from_cache"]
+        serial_s = time.perf_counter() - start
+        serial_rate = N_SERIAL / serial_s
+
+        # 2. N concurrent client processes
+        def concurrent_run():
+            ctx = multiprocessing.get_context()
+            out = ctx.Queue()
+            procs = [ctx.Process(target=_client_worker,
+                                 args=(port, N_PER_CLIENT, out))
+                     for _ in range(N_CLIENTS)]
+            start = time.perf_counter()
+            for p in procs:
+                p.start()
+            latencies = [x for _ in procs for x in out.get()]
+            for p in procs:
+                p.join()
+            return time.perf_counter() - start, sorted(latencies)
+
+        concurrent_s, latencies = benchmark.pedantic(
+            concurrent_run, rounds=1, iterations=1)
+        concurrent_rate = N_CLIENTS * N_PER_CLIENT / concurrent_s
+        p50 = _percentile(latencies, 0.50)
+        p99 = _percentile(latencies, 0.99)
+
+        client.close()
+
+    # 3. the pre-serving workflow: one CLI process per design, same
+    # warm on-disk cache (interpreter + import per request).
+    env = dict(os.environ,
+               PYTHONPATH=SRC_DIR + os.pathsep + os.environ.get(
+                   "PYTHONPATH", ""))
+    start = time.perf_counter()
+    for _ in range(N_CLI_LOOP):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "--kernel",
+             "gemm", "--dataflows", "KJ", "--array", "2", "2",
+             "--cache-dir", str(cache_root)],
+            env=env, check=True, capture_output=True)
+    cli_rate = N_CLI_LOOP / (time.perf_counter() - start)
+
+    speedup_vs_cli = concurrent_rate / cli_rate
+    speedup_vs_serial = concurrent_rate / serial_rate
+
+    lines = [
+        f"serial HTTP loop          : {serial_rate:8.0f} req/s "
+        f"({1e3 / serial_rate:6.2f} ms/req)",
+        f"{N_CLIENTS} concurrent clients      : "
+        f"{concurrent_rate:8.0f} req/s   "
+        f"p50 {p50 * 1e3:6.2f} ms   p99 {p99 * 1e3:6.2f} ms",
+        f"process-per-request loop  : {cli_rate:8.1f} req/s "
+        f"(the pre-serving workflow)",
+        f"concurrent vs process-loop: {speedup_vs_cli:8.1f}x",
+        f"concurrent vs serial HTTP : {speedup_vs_serial:8.2f}x "
+        f"(single-core ceiling is the event loop; see --processes)",
+        f"host cores                : {os.cpu_count()}",
+    ]
+    record_table("serving_latency",
+                 "Async serving: warm latency under concurrent clients",
+                 lines)
+
+    benchmark.extra_info.update(
+        serial_req_per_s=serial_rate,
+        concurrent_req_per_s=concurrent_rate,
+        p50_ms=p50 * 1e3, p99_ms=p99 * 1e3,
+        cli_loop_req_per_s=cli_rate,
+        speedup_vs_process_loop=speedup_vs_cli)
+
+    # Acceptance: warm concurrent serving >= 5x the serial client loop
+    # it replaces (one process per request).
+    assert speedup_vs_cli >= 5.0
+    # And concurrency must not collapse aggregate throughput (on one
+    # core the ratio hovers near 1.0: same event loop, added contention).
+    assert speedup_vs_serial >= 0.6

@@ -9,7 +9,9 @@ Commands
 ``evaluate``   end-to-end model performance on a named architecture;
 ``explore``    design-space exploration with a Pareto report, under a
                pluggable search strategy (``--strategy``/``--max-evals``);
-``cache``      inspect, list, or clear the content-addressed design cache.
+``cache``      inspect, list, or clear the content-addressed design cache;
+``serve``      run the asyncio HTTP front end (generate/batch/explore as
+               a long-lived service with pausable exploration jobs).
 """
 
 from __future__ import annotations
@@ -163,7 +165,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if not result.ok:
             print(f"  failed {result.spec_hash[:12]}: {result.error}",
                   file=sys.stderr)
+            if args.show_traceback and result.traceback:
+                print(result.traceback, file=sys.stderr)
     return 0 if ok == len(results) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    serve(engine=_build_engine(args), host=args.host, port=args.port,
+          step_evals=args.step_evals, processes=args.processes)
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -299,8 +311,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for cold requests")
     bat.add_argument("--output-dir",
                      help="write <hash>.v and <hash>.json per design here")
+    bat.add_argument("--show-traceback", action="store_true",
+                     help="print the full captured traceback of each "
+                     "failed request, not just the error line")
     _add_cache_flags(bat)
     bat.set_defaults(func=_cmd_batch)
+
+    srv = sub.add_parser("serve", help="run the HTTP design service")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: loopback only)")
+    srv.add_argument("--port", type=int, default=8731,
+                     help="TCP port (0 picks an ephemeral port)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="worker processes for cold generation batches")
+    srv.add_argument("--processes", type=int, default=1,
+                     help="SO_REUSEPORT server processes sharing the "
+                     "port (scale-out on multi-core hosts; designs are "
+                     "shared through the on-disk cache tier)")
+    srv.add_argument("--step-evals", type=float, default=1.0,
+                     metavar="E", help="checkpoint granularity of explore "
+                     "jobs, in full-model evaluations per step")
+    _add_cache_flags(srv)
+    srv.set_defaults(func=_cmd_serve)
 
     ca = sub.add_parser("cache", help="inspect or clear the design cache")
     ca.add_argument("action", choices=["stats", "list", "clear"])

@@ -1,0 +1,290 @@
+"""Pause/resume for DSE searches: self-contained, replayable checkpoints.
+
+A guided search is a deterministic function of its seed: every proposal
+a strategy makes is drawn from a ``random.Random(seed)`` stream, and
+every decision depends only on that stream plus the evaluated rows.  A
+checkpoint therefore never freezes strategy-internal state (annealing
+temperature, halving rung, restart index).  It records the **evaluated
+rows** — the :class:`~repro.dse.strategies.PointEvaluator` memo, keyed
+exactly like the design cache — plus the search parameters and the RNG
+state at the pause, and resuming *replays* the search from the seed with
+those rows preloaded.  The warm prefix costs dict lookups instead of
+simulator runs (staged estimation in the ePCA sense: cheap incremental
+updates, never a full refit), and the resumed run is bit-for-bit
+identical to an uninterrupted one by construction — the property
+:mod:`tests.test_checkpoint_properties` asserts across seeds.
+
+Pausing is cooperative: :func:`run_checkpointed` gives the evaluator a
+cumulative ``pause_after`` budget, and the evaluator raises
+:class:`~repro.dse.strategies.SearchPaused` at a deterministic chunk
+boundary once the budget is charged.  The async serving front end
+(:mod:`repro.service.server`) drives long ``/explore`` jobs as a loop of
+such steps, checkpointing between them, so explorations survive a
+killed server and can be paused/resumed/polled across requests.
+
+>>> from repro.dse.explorer import DesignSpace
+>>> from repro.models import zoo
+>>> space = DesignSpace(arrays=((8, 8),), buffer_kb=(128.0, 256.0),
+...                     dataflow_sets=(("ICOC",), ("MN", "ICOC")))
+>>> full, done = run_checkpointed([zoo.lenet()], space)
+>>> done.completed
+True
+>>> paused, ckpt = run_checkpointed([zoo.lenet()], space, step_evals=2)
+>>> paused is None and not ckpt.completed
+True
+>>> ckpt = SearchCheckpoint.loads(ckpt.dumps())  # survives serialization
+>>> resumed, done2 = run_checkpointed(checkpoint=ckpt)
+>>> resumed.best.arch.name == full.best.arch.name
+True
+>>> done2.eval_log == done.eval_log
+True
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from dataclasses import asdict, dataclass, field
+
+from .explorer import DesignSpace
+from .strategies import (STRATEGIES, PointEvaluator, SearchPaused,
+                         SearchResult, get_strategy, run_search)
+
+__all__ = ["CHECKPOINT_FORMAT", "SearchCheckpoint", "run_checkpointed",
+           "space_to_dict", "space_from_dict"]
+
+CHECKPOINT_FORMAT = "lego-dse-checkpoint-v1"
+
+
+def space_to_dict(space: DesignSpace) -> dict:
+    """JSON-serializable form of a :class:`DesignSpace`."""
+    return {"arrays": [list(a) for a in space.arrays],
+            "buffer_kb": list(space.buffer_kb),
+            "dram_gbps": list(space.dram_gbps),
+            "dataflow_sets": [list(s) for s in space.dataflow_sets],
+            "freq_mhz": space.freq_mhz}
+
+
+def space_from_dict(data: dict) -> DesignSpace:
+    """Rebuild a :class:`DesignSpace` from :func:`space_to_dict` output
+    (missing axes fall back to the defaults)."""
+    default = DesignSpace()
+    return DesignSpace(
+        arrays=tuple(tuple(int(x) for x in a)
+                     for a in data.get("arrays", default.arrays)),
+        buffer_kb=tuple(float(b)
+                        for b in data.get("buffer_kb", default.buffer_kb)),
+        dram_gbps=tuple(float(b)
+                        for b in data.get("dram_gbps", default.dram_gbps)),
+        dataflow_sets=tuple(tuple(str(d) for d in s) for s in
+                            data.get("dataflow_sets",
+                                     default.dataflow_sets)),
+        freq_mhz=float(data.get("freq_mhz", default.freq_mhz)))
+
+
+def _strategy_params(strat) -> dict:
+    """Constructor kwargs of a strategy instance (its public attrs —
+    every built-in strategy stores each ctor arg under its own name)."""
+    return {k: v for k, v in vars(strat).items() if not k.startswith("_")}
+
+
+@dataclass
+class SearchCheckpoint:
+    """Everything needed to resume (or audit) a search, JSON-safe.
+
+    ``rows`` is the evaluator memo keyed by the service-layer eval key,
+    so a checkpoint is self-contained: resuming needs neither the design
+    cache nor the machine that started the run.  ``eval_log`` is the
+    ordered witness of every charged evaluation; ``rng_state`` is the
+    paused run's ``random.Random.getstate()`` snapshot (recorded for
+    audit — resume replays from ``seed``, which is strictly stronger).
+    """
+
+    strategy: str = "exhaustive"
+    strategy_params: dict = field(default_factory=dict)
+    objective: str = "edp"
+    seed: int = 0
+    max_evals: int | None = None
+    area_budget_mm2: float | None = None
+    space: dict = field(default_factory=dict)
+    model_names: list[str] = field(default_factory=list)
+    model_fingerprints: list[str] = field(default_factory=list)
+    tech: str = ""
+    rows: dict = field(default_factory=dict)
+    eval_log: list = field(default_factory=list)
+    evals_used: float = 0.0
+    points_evaluated: int = 0
+    degenerate_skipped: int = 0
+    rng_state: list | None = None
+    completed: bool = False
+    format: str = CHECKPOINT_FORMAT
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchCheckpoint":
+        if data.get("format", CHECKPOINT_FORMAT) != CHECKPOINT_FORMAT:
+            raise ValueError(f"not a {CHECKPOINT_FORMAT} checkpoint: "
+                             f"format={data.get('format')!r}")
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def loads(cls, text: str) -> "SearchCheckpoint":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SearchCheckpoint":
+        return cls.loads(pathlib.Path(path).read_text())
+
+    # -- progress ----------------------------------------------------------
+
+    def progress(self) -> dict:
+        """Small status summary (what a job poll reports)."""
+        return {"completed": self.completed,
+                "evals_used": round(self.evals_used, 6),
+                "points_evaluated": self.points_evaluated,
+                "rows": len(self.rows),
+                "strategy": self.strategy,
+                "objective": self.objective,
+                "seed": self.seed}
+
+
+def _as_checkpoint(checkpoint) -> SearchCheckpoint:
+    if isinstance(checkpoint, SearchCheckpoint):
+        return checkpoint
+    if isinstance(checkpoint, dict):
+        return SearchCheckpoint.from_dict(checkpoint)
+    if isinstance(checkpoint, (str, pathlib.Path)):
+        return SearchCheckpoint.load(checkpoint)
+    raise TypeError(f"checkpoint must be a SearchCheckpoint, dict, or "
+                    f"path, not {type(checkpoint).__name__}")
+
+
+def _resume_models(checkpoint: SearchCheckpoint):
+    from ..models import zoo
+
+    models = []
+    for name in checkpoint.model_names:
+        builder = zoo.MODEL_BUILDERS.get(name)
+        if builder is None:
+            raise ValueError(
+                f"checkpoint model {name!r} is not a zoo model; pass "
+                "models= explicitly to resume this search")
+        models.append(builder())
+    return models
+
+
+def run_checkpointed(models=None, space: DesignSpace | None = None,
+                     strategy="exhaustive", objective: str = "edp",
+                     area_budget_mm2: float | None = None, tech=None,
+                     workers: int = 1, cache=None,
+                     max_evals: int | None = None, seed: int = 0,
+                     model_names: list[str] | None = None,
+                     checkpoint=None, step_evals: float | None = None,
+                     ) -> tuple[SearchResult | None, SearchCheckpoint]:
+    """Run, pause, or resume one search; returns ``(result, ckpt)``.
+
+    Without *checkpoint* this behaves like
+    :func:`~repro.dse.strategies.run_search` but also returns a
+    completed checkpoint.  With *checkpoint* (a
+    :class:`SearchCheckpoint`, its dict form, or a path) the search
+    parameters come from the checkpoint and the run replays over its
+    rows; *models* may be omitted when every model is a zoo model
+    (*model_names* records the zoo names for exactly that).
+
+    *step_evals* bounds how many **additional** full-model-equivalents
+    this call may charge beyond the checkpoint's total; when the budget
+    runs out mid-search the result is ``None`` and the returned
+    checkpoint has ``completed=False``.  Chaining calls until
+    ``completed`` reproduces the uninterrupted run bit-for-bit.
+    """
+    from ..service.engine import model_fingerprint
+    from ..sim.energy_model import TSMC28
+
+    if checkpoint is not None:
+        ckpt = _as_checkpoint(checkpoint)
+        space = space_from_dict(ckpt.space)
+        try:
+            strat = STRATEGIES[ckpt.strategy](**ckpt.strategy_params)
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"cannot rebuild strategy "
+                             f"{ckpt.strategy!r} from checkpoint: "
+                             f"{exc}") from None
+        objective = ckpt.objective
+        seed = ckpt.seed
+        max_evals = ckpt.max_evals
+        area_budget_mm2 = ckpt.area_budget_mm2
+        rows = dict(ckpt.rows)
+        models = list(models) if models is not None else \
+            _resume_models(ckpt)
+        model_names = list(ckpt.model_names)
+        base_evals = ckpt.evals_used
+    else:
+        if models is None:
+            raise ValueError("models are required when starting a fresh "
+                             "search (no checkpoint given)")
+        ckpt = None
+        models = list(models)
+        space = space or DesignSpace()
+        strat = get_strategy(strategy)
+        rows = {}
+        model_names = list(model_names) if model_names is not None \
+            else [m.name for m in models]
+        base_evals = 0.0
+
+    tech = tech or TSMC28
+    fingerprints = [model_fingerprint(m) for m in models]
+    if ckpt is not None:
+        if fingerprints != ckpt.model_fingerprints:
+            raise ValueError("resume models do not match the checkpoint "
+                             "(fingerprint mismatch) — the replay would "
+                             "diverge")
+        if ckpt.tech and repr(tech) != ckpt.tech:
+            raise ValueError(f"resume tech {repr(tech)!r} does not match "
+                             f"the checkpoint's {ckpt.tech!r}")
+
+    if step_evals is not None and step_evals <= 0:
+        raise ValueError(f"step_evals must be positive, got {step_evals} "
+                         "(a zero-progress step could never finish)")
+    pause_after = None if step_evals is None else base_evals + step_evals
+    evaluator = PointEvaluator(models, tech=tech, cache=cache,
+                               workers=workers,
+                               area_budget_mm2=area_budget_mm2,
+                               objective=objective,
+                               row_store=rows, pause_after=pause_after)
+    rng = random.Random(seed)
+    try:
+        result = run_search(models, space, strategy=strat,
+                            objective=objective, max_evals=max_evals,
+                            evaluator=evaluator, rng=rng)
+        rng_state = None
+    except SearchPaused:
+        result = None
+        state = rng.getstate()
+        rng_state = [state[0], list(state[1]), state[2]]
+
+    out = SearchCheckpoint(
+        strategy=strat.name,
+        strategy_params=_strategy_params(strat),
+        objective=objective, seed=seed, max_evals=max_evals,
+        area_budget_mm2=area_budget_mm2, space=space_to_dict(space),
+        model_names=model_names, model_fingerprints=fingerprints,
+        tech=repr(tech), rows=rows, eval_log=list(evaluator.eval_log),
+        evals_used=evaluator.evals_used,
+        points_evaluated=evaluator.points_evaluated,
+        degenerate_skipped=evaluator.degenerate_skipped,
+        rng_state=rng_state, completed=result is not None)
+    return result, out

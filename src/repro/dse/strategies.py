@@ -54,9 +54,9 @@ from ..models.layers import Model
 from .explorer import DesignPoint, DesignSpace
 
 __all__ = [
-    "OBJECTIVES", "PointEvaluator", "SearchResult", "SearchStrategy",
-    "Exhaustive", "SimulatedAnnealing", "SuccessiveHalving",
-    "STRATEGIES", "get_strategy", "run_search",
+    "OBJECTIVES", "PointEvaluator", "SearchPaused", "SearchResult",
+    "SearchStrategy", "Exhaustive", "SimulatedAnnealing",
+    "SuccessiveHalving", "STRATEGIES", "get_strategy", "run_search",
 ]
 
 #: Objective name -> sort key (lower is better) on a :class:`DesignPoint`.
@@ -66,6 +66,16 @@ OBJECTIVES = {
     "energy": lambda p: p.energy_pj,
     "throughput": lambda p: -p.gops,
 }
+
+
+class SearchPaused(RuntimeError):
+    """Raised by a :class:`PointEvaluator` whose ``pause_after`` budget
+    is exhausted while cold work remains.  Strategies must let it
+    propagate (it is the pause signal of
+    :func:`repro.dse.checkpoint.run_checkpointed`); they never need to
+    catch or recover from it, because resuming replays the search from
+    its seed with the already-computed rows preloaded.
+    """
 
 
 class PointEvaluator:
@@ -88,7 +98,9 @@ class PointEvaluator:
 
     def __init__(self, models, tech=None, cache=None, workers: int = 1,
                  area_budget_mm2: float | None = None,
-                 objective: str = "edp"):
+                 objective: str = "edp",
+                 row_store: dict | None = None,
+                 pause_after: float | None = None):
         from ..sim.energy_model import TSMC28
 
         if objective not in OBJECTIVES:
@@ -101,6 +113,18 @@ class PointEvaluator:
         self.area_budget_mm2 = area_budget_mm2
         self.objective = objective
         self.key = OBJECTIVES[objective]
+        #: resume hook: every row this evaluator reads or computes is
+        #: mirrored into this dict (eval-key -> row), so a checkpoint
+        #: can carry the memo across processes without the design cache.
+        self.row_store = row_store
+        #: resume hook: raise :class:`SearchPaused` once ``evals_used``
+        #: reaches this many charged full-model-equivalents and more
+        #: cold work arrives.  ``None`` disables pausing.
+        self.pause_after = pause_after
+        #: ordered record of every charged evaluation (arch, models,
+        #: cost, raw row) — the replay-identity witness the checkpoint
+        #: property tests compare bit-for-bit.
+        self.eval_log: list[dict] = []
         self._full_cost = sum(len(m.layers) for m in self.models) or 1
         self._memo: dict[tuple, DesignPoint | None] = {}
         self._full_points: dict = {}  # arch -> DesignPoint, full fidelity
@@ -162,13 +186,40 @@ class PointEvaluator:
             if (mkey, arch) not in self._memo and arch not in seen:
                 todo.append(arch)
                 seen.add(arch)
-        if todo:
-            rows = evaluate_archs(models, todo, self.tech,
-                                  workers=self.workers, cache=self.cache)
-            for arch, row in zip(todo, rows):
+        # With a pause budget the cold set is processed in worker-sized
+        # chunks so the budget check lands at deterministic points of
+        # the proposal stream.  Chunk boundaries do not need to match
+        # between runs (resume replays proposals, not pauses), so when
+        # the remaining budget covers this whole call we keep it as one
+        # batch — one worker-pool spin-up instead of one per chunk.
+        if (self.pause_after is None
+                or self.evals_used + cost * len(todo) <= self.pause_after):
+            width = max(1, len(todo))
+        else:
+            width = max(1, self.workers)
+        for start in range(0, len(todo), width):
+            if (self.pause_after is not None
+                    and self.evals_used >= self.pause_after):
+                raise SearchPaused(
+                    f"evaluation budget exhausted at "
+                    f"{self.evals_used:.3f}/{self.pause_after:.3f} "
+                    "full-model evals")
+            chunk = todo[start:start + width]
+            rows = evaluate_archs(models, chunk, self.tech,
+                                  workers=self.workers, cache=self.cache,
+                                  overlay=self.row_store)
+            for arch, row in zip(chunk, rows):
                 point = self._to_point(arch, row)
                 self._memo[(mkey, arch)] = point
                 self.evals_used += cost
+                self.eval_log.append({
+                    "arch": arch.name,
+                    "models": [m.name for m in models],
+                    "cost": cost,
+                    "cycles": row["cycles"],
+                    "energy_pj": row["energy_pj"],
+                    "ops": row["ops"],
+                })
                 if full:
                     self.points_evaluated += 1
                     if point is not None:
@@ -193,6 +244,17 @@ class PointEvaluator:
     def sorted_points(self) -> list[DesignPoint]:
         """All full-fidelity points seen so far, best-first."""
         return sorted(self._full_points.values(), key=self.key)
+
+    def result(self, strategy_name: str,
+               space: DesignSpace) -> "SearchResult":
+        """Package the evaluator's current score as a `SearchResult`."""
+        return SearchResult(strategy=strategy_name,
+                            objective=self.objective,
+                            points=self.sorted_points(),
+                            evals_used=round(self.evals_used, 6),
+                            points_evaluated=self.points_evaluated,
+                            space_size=space.size(),
+                            degenerate_skipped=self.degenerate_skipped)
 
 
 @dataclass(frozen=True)
@@ -427,21 +489,27 @@ def run_search(models, space: DesignSpace | None = None,
                area_budget_mm2: float | None = None, tech=None,
                workers: int = 1, cache=None,
                max_evals: int | None = None,
-               seed: int = 0) -> SearchResult:
+               seed: int = 0,
+               evaluator: PointEvaluator | None = None,
+               rng: random.Random | None = None) -> SearchResult:
     """Run one strategy over *space* and return the full
     :class:`SearchResult` (points plus metered cost).  This is the rich
     sibling of :func:`repro.dse.explorer.explore`, which returns only
-    the sorted point list."""
+    the sorted point list.
+
+    *evaluator*/*rng* inject a pre-built :class:`PointEvaluator` and RNG
+    (the :mod:`repro.dse.checkpoint` resume hooks); when given, they
+    take precedence over the models/tech/cache/workers/seed arguments.
+    A pausing evaluator's :class:`SearchPaused` propagates to the
+    caller.
+    """
     space = space or DesignSpace()
     strat = get_strategy(strategy)
-    evaluator = PointEvaluator(models, tech=tech, cache=cache,
-                               workers=workers,
-                               area_budget_mm2=area_budget_mm2,
-                               objective=objective)
-    strat.run(evaluator, space, random.Random(seed), max_evals=max_evals)
-    return SearchResult(strategy=strat.name, objective=objective,
-                        points=evaluator.sorted_points(),
-                        evals_used=round(evaluator.evals_used, 6),
-                        points_evaluated=evaluator.points_evaluated,
-                        space_size=space.size(),
-                        degenerate_skipped=evaluator.degenerate_skipped)
+    if evaluator is None:
+        evaluator = PointEvaluator(models, tech=tech, cache=cache,
+                                   workers=workers,
+                                   area_budget_mm2=area_budget_mm2,
+                                   objective=objective)
+    strat.run(evaluator, space, rng or random.Random(seed),
+              max_evals=max_evals)
+    return evaluator.result(strat.name, space)

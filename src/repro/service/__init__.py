@@ -13,13 +13,21 @@ benchmarks all route through.
 from .api import (cache_stats, clear_cache, explore_cached, generate_many,
                   get_engine, submit)
 from .cache import CacheStats, DesignCache
-from .engine import BatchEngine, evaluate_archs, requests_from_space
+from .client import ServiceClient, ServiceError
+from .engine import (BatchEngine, evaluate_archs, model_fingerprint,
+                     requests_from_space)
+from .jobs import Job, JobRegistry
+from .server import DesignServer, ServerThread, serve
 from .spec import DesignRequest, DesignResult, execute_request
 
 __all__ = [
     "DesignRequest", "DesignResult", "execute_request",
     "DesignCache", "CacheStats",
     "BatchEngine", "evaluate_archs", "requests_from_space",
+    "model_fingerprint",
     "get_engine", "submit", "generate_many", "explore_cached",
     "cache_stats", "clear_cache",
+    "DesignServer", "ServerThread", "serve",
+    "ServiceClient", "ServiceError",
+    "Job", "JobRegistry",
 ]

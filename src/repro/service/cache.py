@@ -7,16 +7,30 @@ oldest-access-first) persists across processes so a warm service start
 never regenerates a design it has seen before.  Corrupted entries are
 deleted and counted, never raised: the cache must always be allowed to
 fall back to regeneration.
+
+Concurrency: every write is atomic (temp file + ``os.replace``), so
+readers never observe a partial entry; the memory tier is guarded by a
+lock, so the asyncio server's executor threads can share one cache; and
+the disk eviction scan takes a cross-process advisory file lock
+(``.evict.lock``) so concurrent writers don't both act on the same
+stale directory snapshot and evict twice the excess.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX fallback
+    fcntl = None
 
 from ..serialize import canonical_dumps
 
@@ -67,6 +81,10 @@ class DesignCache:
     def __post_init__(self):
         self.root = pathlib.Path(self.root)
         self._memory: OrderedDict[str, dict] = OrderedDict()
+        # Guards the memory LRU and the stats counters: without it, two
+        # server threads can race a membership check against an
+        # eviction and crash on move_to_end(missing key).
+        self._lock = threading.RLock()
         # Approximate on-disk entry count; scanned lazily so put() stays
         # O(1) until the cache actually nears its bound.
         self._disk_count: int | None = None
@@ -103,13 +121,24 @@ class DesignCache:
             return wrapper.get("record")
         return None
 
+    def get_memory(self, key: str) -> dict | None:
+        """Memory-tier-only lookup: no disk I/O, so it is safe on an
+        event loop.  A hit promotes and counts as usual; a miss returns
+        ``None`` *without* counting (the caller falls back to
+        :meth:`get`, which does the bookkeeping)."""
+        with self._lock:
+            record = self._memory.get(key)
+            if record is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+            return record
+
     def get(self, key: str) -> dict | None:
         """The cached record for *key*, or None on miss/corruption."""
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            return self._memory[key]
+        record = self.get_memory(key)
+        if record is not None:
+            return record
         path = self.path_for(key)
         try:
             with open(path) as fh:
@@ -119,21 +148,24 @@ class DesignCache:
                     or "record" not in wrapper):
                 raise ValueError("bad cache wrapper")
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         except (ValueError, OSError):
             # Corrupted entry: drop it and let the caller regenerate.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
                 if self._disk_count is not None:
                     self._disk_count = max(0, self._disk_count - 1)
+            try:
+                path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
-        self._remember(key, wrapper["record"])
+        with self._lock:
+            self.stats.hits += 1
+            self._remember(key, wrapper["record"])
         # Refresh mtime so disk eviction approximates LRU, not FIFO.
         try:
             os.utime(path)
@@ -159,10 +191,11 @@ class DesignCache:
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
-        if self._disk_count is not None and not existed:
-            self._disk_count += 1
-        self._remember(key, record)
+        with self._lock:
+            self.stats.puts += 1
+            if self._disk_count is not None and not existed:
+                self._disk_count += 1
+            self._remember(key, record)
         self._evict_disk()
 
     def clear(self) -> int:
@@ -174,35 +207,81 @@ class DesignCache:
                 n += 1
             except OSError:
                 pass
-        self._memory.clear()
-        self._disk_count = 0
+        with self._lock:
+            self._memory.clear()
+            self._disk_count = 0
         return n
 
     # -- eviction ----------------------------------------------------------
 
     def _remember(self, key: str, record: dict) -> None:
+        # Caller holds self._lock.
         self._memory[key] = record
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
 
-    def _evict_disk(self) -> None:
-        if self._disk_count is None:
-            self._disk_count = len(self.keys())
-        if self._disk_count <= self.disk_entries:
+    @contextlib.contextmanager
+    def _eviction_lock(self):
+        """Cross-process advisory lock for the eviction scan.  Held by
+        another process → yields False (skip: that process is already
+        shrinking the store, and two scans of the same stale snapshot
+        would evict the excess twice)."""
+        if fcntl is None:
+            yield True
             return
-        paths = [self.path_for(k) for k in self.keys()]
-        excess = len(paths) - self.disk_entries
-        def mtime(p: pathlib.Path) -> float:
+        lock_path = self.root / ".evict.lock"
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield True
+            return
+        try:
             try:
-                return p.stat().st_mtime
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
             except OSError:
-                return 0.0
-        for path in sorted(paths, key=mtime)[:max(excess, 0)]:
+                yield False
+                return
             try:
-                path.unlink()
-                self.stats.evictions += 1
-            except OSError:
-                pass
-            self._memory.pop(path.stem, None)
-        self._disk_count = len(paths) - max(excess, 0)
+                yield True
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def _evict_disk(self) -> None:
+        with self._lock:
+            count = self._disk_count
+        if count is None:
+            # First-time scan happens OUTSIDE the lock: globbing a big
+            # cache root must not stall memory-tier readers (the
+            # server's event-loop fast path takes this lock).
+            count = len(self.keys())
+            with self._lock:
+                self._disk_count = count
+        if count <= self.disk_entries:
+            return
+        with self._eviction_lock() as held:
+            if not held:
+                return
+            # Re-scan under the lock: another process may have evicted
+            # since the approximate count tripped the threshold.
+            paths = [self.path_for(k) for k in self.keys()]
+            excess = len(paths) - self.disk_entries
+
+            def mtime(p: pathlib.Path) -> float:
+                try:
+                    return p.stat().st_mtime
+                except OSError:
+                    return 0.0
+            for path in sorted(paths, key=mtime)[:max(excess, 0)]:
+                try:
+                    path.unlink()
+                    with self._lock:
+                        self.stats.evictions += 1
+                except OSError:
+                    pass
+                with self._lock:
+                    self._memory.pop(path.stem, None)
+            with self._lock:
+                self._disk_count = len(paths) - max(excess, 0)

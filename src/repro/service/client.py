@@ -1,0 +1,174 @@
+"""Blocking client for the design service (stdlib ``http.client``).
+
+One :class:`ServiceClient` wraps one persistent HTTP/1.1 connection to a
+``repro serve`` instance; it reconnects transparently when the server
+closes the socket.  The client is deliberately synchronous — benchmark
+worker processes, tests, and notebook users all drive it directly, and
+concurrency comes from running many clients, exactly like production
+traffic.  A client instance is not thread-safe: give each thread or
+process its own.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the design service."""
+
+    def __init__(self, status: int, payload: dict):
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        message = self.payload.get("error", repr(payload))
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to a running design service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 120.0) -> "ServiceClient":
+        """``ServiceClient.from_url("http://127.0.0.1:8731")``."""
+        hostport = url.split("//", 1)[-1].rstrip("/")
+        host, _, port = hostport.partition(":")
+        return cls(host=host, port=int(port or 80), timeout=timeout)
+
+    # -- transport ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> dict:
+        """One round-trip; raises :class:`ServiceError` on non-2xx.
+
+        A stale keep-alive socket is retried once — but only when the
+        failure happened while *sending* (the server cannot have acted
+        on a half-written request) or on an idempotent GET.  A POST
+        whose response was lost is NOT resent: ``/batch``/``/explore``
+        would create a duplicate job.
+        """
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=payload,
+                                   headers=headers)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            try:
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt or method != "GET":
+                    raise
+        try:
+            decoded = json.loads(data.decode()) if data else {}
+        except ValueError:
+            decoded = {"error": data.decode(errors="replace")}
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def generate(self, request: dict | None = None,
+                 include_rtl: bool = False, **fields) -> dict:
+        """Generate (or fetch) one design.  *request* is a design-request
+        dict (``DesignRequest.to_dict`` shape, partial is fine); keyword
+        fields are a shorthand: ``client.generate(kernel="gemm",
+        array=[4, 4])``."""
+        spec = dict(request or {})
+        spec.update(fields)
+        body = {"request": spec}
+        if include_rtl:
+            body["include_rtl"] = True
+        return self.request("POST", "/generate", body)
+
+    def batch(self, requests: list[dict], workers: int | None = None,
+              include_rtl: bool = False) -> str:
+        """Submit a batch job; returns the job id."""
+        body: dict = {"requests": list(requests)}
+        if workers is not None:
+            body["workers"] = workers
+        if include_rtl:
+            body["include_rtl"] = True
+        return self.request("POST", "/batch", body)["job"]
+
+    def explore(self, models: list[str] | None = None,
+                checkpoint: dict | None = None, **params) -> str:
+        """Start (or, with *checkpoint*, resume) an exploration job;
+        returns the job id.  *params* pass through: ``strategy``,
+        ``objective``, ``max_evals``, ``seed``, ``step_evals``,
+        ``area_budget_mm2``, ``space``."""
+        body = dict(params)
+        if models is not None:
+            body["models"] = list(models)
+        if checkpoint is not None:
+            body["checkpoint"] = checkpoint
+        return self.request("POST", "/explore", body)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str, checkpoint: bool = True) -> dict:
+        path = f"/jobs/{job_id}" + ("" if checkpoint else "?checkpoint=0")
+        return self.request("GET", path)
+
+    def pause(self, job_id: str) -> dict:
+        return self.request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> dict:
+        return self.request("POST", f"/jobs/{job_id}/resume")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05,
+             until: tuple[str, ...] = ("done", "failed", "paused"),
+             ) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job settles; returns the
+        final job dict (raises :class:`TimeoutError` on timeout).
+
+        Polls exclude the checkpoint (which grows with an exploration's
+        evaluated rows); only the final fetch carries it.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.job(job_id, checkpoint=False)
+            if state["status"] in until:
+                return self.job(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state['status']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll_s)

@@ -25,7 +25,8 @@ from ..serialize import canonical_dumps
 from .cache import DesignCache
 from .spec import DesignRequest, DesignResult, execute_request
 
-__all__ = ["BatchEngine", "requests_from_space", "evaluate_archs"]
+__all__ = ["BatchEngine", "requests_from_space", "evaluate_archs",
+           "model_fingerprint"]
 
 #: DSE dataflow names → (kernel, generator dataflow names).
 _DSE_DATAFLOW_MAP = {
@@ -159,9 +160,14 @@ class BatchEngine:
 # DSE point evaluation (the explorer's hot loop) through the same cache.
 # ---------------------------------------------------------------------------
 
-def _model_fingerprint(model) -> str:
-    # Dataclass repr of names/ints/floats: deterministic across processes.
+def model_fingerprint(model) -> str:
+    """Deterministic identity of a workload model (dataclass repr of
+    names/ints/floats, stable across processes).  Part of the eval-row
+    address, and the thing a DSE checkpoint pins its models to."""
     return hashlib.sha256(repr(model).encode()).hexdigest()
+
+
+_model_fingerprint = model_fingerprint  # backward-compatible alias
 
 
 def _eval_key(model_fingerprints: list[str], arch, tech) -> str:
@@ -205,21 +211,31 @@ def _eval_arch_pooled(args) -> dict:
 
 def evaluate_archs(models, archs, tech,
                    workers: int = 1,
-                   cache: DesignCache | None = None) -> list[dict]:
+                   cache: DesignCache | None = None,
+                   overlay: dict | None = None) -> list[dict]:
     """Evaluate *models* on every architecture in *archs*; returns one
     ``{"cycles", "energy_pj", "ops"}`` row per arch, in order.  Rows are
     served from *cache* when possible and computed in parallel when
-    ``workers > 1``."""
+    ``workers > 1``.
+
+    *overlay* is a plain ``{eval_key: row}`` dict consulted before the
+    cache and updated with every row this call resolves (including
+    cache hits), so a caller can carry a self-contained copy of the
+    rows — the DSE checkpoint mechanism."""
     models = list(models)
     archs = list(archs)
-    fingerprints = [_model_fingerprint(m) for m in models]
+    fingerprints = [model_fingerprint(m) for m in models]
     keys = [_eval_key(fingerprints, arch, tech) for arch in archs]
     rows: dict[int, dict] = {}
     cold: list[int] = []
     for i, key in enumerate(keys):
-        record = cache.get(key) if cache is not None else None
+        record = overlay.get(key) if overlay is not None else None
+        if record is None:
+            record = cache.get(key) if cache is not None else None
         if record is not None and record.get("kind") == "eval-v1":
             rows[i] = record
+            if overlay is not None:
+                overlay[key] = record
         else:
             cold.append(i)
 
@@ -234,6 +250,8 @@ def evaluate_archs(models, archs, tech,
                                 [(archs[i], tech) for i in cold])
     for i, record in zip(cold, computed):
         rows[i] = record
+        if overlay is not None:
+            overlay[keys[i]] = record
         if cache is not None:
             cache.put(keys[i], record)
     return [rows[i] for i in range(len(archs))]

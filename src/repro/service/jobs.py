@@ -1,0 +1,186 @@
+"""The serving job table: long-running work the HTTP front end tracks.
+
+A :class:`Job` is one `/batch` or `/explore` request living across many
+HTTP round-trips: submitted, polled via ``GET /jobs/<id>``, optionally
+paused and resumed (explorations), and eventually carrying its result
+or the full traceback of its failure.  The :class:`JobRegistry` is the
+thread-safe table the asyncio server and its executor threads share;
+nothing in here knows about HTTP.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+
+__all__ = ["Job", "JobRegistry", "JOB_STATUSES", "RegistryFull"]
+
+JOB_STATUSES = ("queued", "running", "pausing", "paused", "done", "failed")
+
+#: statuses that still hold (or may again hold) an executor thread
+LIVE_STATUSES = ("queued", "running", "pausing", "paused")
+
+
+class RegistryFull(RuntimeError):
+    """Backpressure signal: too many live jobs; try again later."""
+
+
+class Job:
+    """One unit of tracked background work."""
+
+    def __init__(self, job_id: str, kind: str, params: dict):
+        self.id = job_id
+        self.kind = kind
+        self.params = params
+        self.status = "queued"
+        self.created_s = time.time()
+        self.started_s: float | None = None
+        self.finished_s: float | None = None
+        self.progress: dict = {}
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.traceback: str | None = None
+        #: serialized SearchCheckpoint of an exploration job — updated
+        #: after every step, so a poll always sees a resumable snapshot
+        #: even if the server dies mid-search.
+        self.checkpoint: dict | None = None
+        self._lock = threading.RLock()
+        self._pause = threading.Event()
+        self._finished = threading.Event()
+
+    # -- state transitions (called from executor threads) ------------------
+
+    def start(self) -> None:
+        with self._lock:
+            self.status = "running"
+            self.started_s = time.time()
+
+    def update_progress(self, **fields) -> None:
+        """Merge progress fields under the job lock (worker threads
+        update while pollers copy — unlocked mutation would race the
+        ``dict(self.progress)`` snapshots)."""
+        with self._lock:
+            self.progress.update(fields)
+
+    def finish(self, result: dict) -> None:
+        with self._lock:
+            self.result = result
+            self.status = "done"
+            self.finished_s = time.time()
+        self._finished.set()
+
+    def fail(self, error: str, tb: str | None = None) -> None:
+        with self._lock:
+            self.error = error
+            self.traceback = tb
+            self.status = "failed"
+            self.finished_s = time.time()
+        self._finished.set()
+
+    def pause(self) -> bool:
+        """Ask a running exploration to stop after its current step."""
+        with self._lock:
+            if self.status not in ("queued", "running", "pausing"):
+                return False
+            self._pause.set()
+            if self.status == "running":
+                self.status = "pausing"
+            return True
+
+    def mark_paused(self) -> None:
+        with self._lock:
+            self.status = "paused"
+        self._finished.set()
+
+    def resume(self) -> bool:
+        """Clear the pause flag; the server re-dispatches the work."""
+        with self._lock:
+            if self.status != "paused":
+                return False
+            self._pause.clear()
+            self._finished.clear()
+            self.status = "running"
+            return True
+
+    @property
+    def pause_requested(self) -> bool:
+        return self._pause.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches done/failed/paused."""
+        return self._finished.wait(timeout)
+
+    # -- views -------------------------------------------------------------
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {"id": self.id, "kind": self.kind,
+                    "status": self.status,
+                    "created_s": self.created_s,
+                    "progress": dict(self.progress)}
+
+    def to_dict(self, include_checkpoint: bool = True) -> dict:
+        with self._lock:
+            out = {"id": self.id, "kind": self.kind, "status": self.status,
+                   "created_s": self.created_s,
+                   "started_s": self.started_s,
+                   "finished_s": self.finished_s,
+                   "progress": dict(self.progress),
+                   "result": self.result,
+                   "error": self.error,
+                   "traceback": self.traceback}
+            if include_checkpoint:
+                out["checkpoint"] = self.checkpoint
+            return out
+
+
+class JobRegistry:
+    """Thread-safe id → :class:`Job` table."""
+
+    def __init__(self, max_jobs: int = 1024):
+        self.max_jobs = max_jobs
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+
+    def create(self, kind: str, params: dict) -> Job:
+        job_id = f"{kind}-{next(self._seq)}-{secrets.token_hex(3)}"
+        job = Job(job_id, kind, params)
+        with self._lock:
+            live = sum(1 for j in self._jobs.values()
+                       if j.status in LIVE_STATUSES)
+            if live >= self.max_jobs:
+                # Backpressure instead of unbounded growth: live jobs
+                # are never discarded, so refuse new ones.
+                raise RegistryFull(
+                    f"{live} live jobs (limit {self.max_jobs}); retry "
+                    "when current jobs finish, or pause/resume less")
+            self._jobs[job_id] = job
+            # Drop the oldest *finished* jobs once over the bound; live
+            # jobs are never discarded.
+            if len(self._jobs) > self.max_jobs:
+                for jid, old in list(self._jobs.items()):
+                    if len(self._jobs) <= self.max_jobs:
+                        break
+                    if old.status in ("done", "failed"):
+                        del self._jobs[jid]
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> list[dict]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.summary() for job in jobs]
+
+    def counts(self) -> dict:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts = {status: 0 for status in JOB_STATUSES}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts

@@ -1,0 +1,693 @@
+"""Asyncio HTTP front end: design requests stream in, results stream out.
+
+``repro serve`` turns the batch engine into a long-lived service.  The
+server is stdlib-only (``asyncio.start_server`` plus a small HTTP/1.1
+reader/writer — no web framework): connections are multiplexed on the
+event loop, blocking work (generation, DSE steps) runs on executor
+threads against the shared :class:`~repro.service.engine.BatchEngine`,
+and long-running work lives in a :class:`~repro.service.jobs.JobRegistry`
+polled across requests.
+
+Endpoints (see ``docs/serving.md`` for the full reference):
+
+=======  ====================  ===========================================
+method   path                  purpose
+=======  ====================  ===========================================
+GET      ``/healthz``          liveness + cache stats + job counts
+POST     ``/generate``         one design, synchronously (cache-first)
+POST     ``/batch``            many designs -> job id
+POST     ``/explore``          DSE search -> job id (checkpointed steps)
+GET      ``/jobs``             job summaries
+GET      ``/jobs/<id>``        full job status, result, checkpoint
+POST     ``/jobs/<id>/pause``  pause an exploration after its step
+POST     ``/jobs/<id>/resume`` resume a paused exploration
+=======  ====================  ===========================================
+
+`/explore` jobs advance in checkpointed steps
+(:func:`repro.dse.checkpoint.run_checkpointed`): after every
+``step_evals`` worth of evaluations the job's resumable checkpoint is
+refreshed in the job table, so a poll always sees a snapshot that
+survives a killed server — POST the checkpoint back to ``/explore`` on a
+fresh server and the search resumes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import traceback
+
+from ..dse.checkpoint import run_checkpointed, space_from_dict
+from .engine import BatchEngine
+from .jobs import JobRegistry, RegistryFull
+from .spec import DesignRequest, DesignResult
+
+__all__ = ["DesignServer", "ServerThread", "serve"]
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error", 503: "Service Unavailable"}
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class _BadRequest(ValueError):
+    """Client error: reported as a 400 with the message as payload."""
+
+
+def _check_number(data: dict, key: str, kind=(int, float),
+                  minimum=None) -> None:
+    """400 on a wrongly-typed optional numeric field instead of a
+    failed job with an internal traceback."""
+    value = data.get(key)
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, kind):
+        raise _BadRequest(f'"{key}" must be a number, got {value!r}')
+    if minimum is not None and value < minimum:
+        raise _BadRequest(f'"{key}" must be >= {minimum}, got {value!r}')
+
+
+def _request_from_body(data: dict) -> DesignRequest:
+    """A full :class:`DesignRequest` from a (possibly partial) dict,
+    with unknown keys rejected rather than silently ignored."""
+    if not isinstance(data, dict):
+        raise _BadRequest("design request must be a JSON object")
+    base = DesignRequest().to_dict()
+    unknown = set(data) - set(base)
+    if unknown:
+        raise _BadRequest(f"unknown design request fields: "
+                          f"{sorted(unknown)}")
+    base.update(data)
+    try:
+        return DesignRequest.from_dict(base)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise _BadRequest(f"invalid design request: {exc}") from None
+
+
+def _result_to_json(result: DesignResult,
+                    include_rtl: bool = False) -> dict:
+    out = {"spec_hash": result.spec_hash,
+           "ok": result.ok,
+           "from_cache": result.from_cache,
+           "elapsed_s": result.elapsed_s,
+           "kernel": result.request.kernel,
+           "dataflows": list(result.request.dataflows),
+           "array": list(result.request.array),
+           "summary": result.summary,
+           "error": result.error,
+           "traceback": result.traceback}
+    if include_rtl:
+        out["rtl"] = result.rtl
+    return out
+
+
+def _point_to_json(point) -> dict:
+    arch = point.arch
+    return {"arch": {"name": arch.name, "array": list(arch.array),
+                     "buffer_kb": arch.buffer_kb,
+                     "dram_gbps": arch.dram_gbps,
+                     "freq_mhz": arch.freq_mhz,
+                     "dataflows": list(arch.dataflows)},
+            "gops": point.gops, "gops_per_watt": point.gops_per_watt,
+            "cycles": point.cycles, "energy_pj": point.energy_pj,
+            "edp": point.edp}
+
+
+def _search_result_to_json(result) -> dict:
+    return {"strategy": result.strategy, "objective": result.objective,
+            "evals_used": result.evals_used,
+            "points_evaluated": result.points_evaluated,
+            "space_size": result.space_size,
+            "degenerate_skipped": result.degenerate_skipped,
+            "best": _point_to_json(result.best) if result.best else None,
+            "points": [_point_to_json(p) for p in result.points]}
+
+
+class DesignServer:
+    """The serving front end around one shared :class:`BatchEngine`."""
+
+    def __init__(self, engine: BatchEngine | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 step_evals: float = 1.0, max_jobs: int = 1024,
+                 reuse_port: bool = False):
+        self.engine = engine if engine is not None else BatchEngine()
+        self.host = host
+        self.port = port
+        self.reuse_port = reuse_port
+        #: default checkpoint step of `/explore` jobs, in
+        #: full-model-equivalents (smaller = finer pause granularity)
+        self.step_evals = step_evals
+        self.jobs = JobRegistry(max_jobs=max_jobs)
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = threading.Event()
+        self._tasks: set = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "DesignServer":
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_BODY, **kwargs)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Nudge idle keep-alive connections so their handler coroutines
+        # finish cleanly instead of being cancelled at loop teardown.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        await asyncio.sleep(0.05)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._closing.is_set():
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = (headers.get("connection", "").lower()
+                              != "close")
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader, writer):
+        """One HTTP/1.1 request -> (method, path, headers, body), or
+        None when the peer closed the connection cleanly."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(writer, 400,
+                                {"error": "malformed request line"}, False)
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY:
+            await self._respond(writer, 400,
+                                {"error": "bad Content-Length"}, False)
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       keep_alive: bool) -> None:
+        data = json.dumps(payload).encode()
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("ascii") + data)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> tuple[int, dict]:
+        path, _, query = path.partition("?")
+        try:
+            data = json.loads(body.decode()) if body else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"malformed JSON body: {exc}"}
+        try:
+            return await self._route(method, path, query, data)
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except RegistryFull as exc:
+            return 503, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            return 500, {"error": f"{type(exc).__name__}: {exc}",
+                         "traceback": traceback.format_exc()}
+
+    async def _route(self, method, path, query, data) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            return 200, self._health()
+        if path == "/generate":
+            if method != "POST":
+                return 405, {"error": "use POST /generate"}
+            return await self._handle_generate(data)
+        if path == "/batch":
+            if method != "POST":
+                return 405, {"error": "use POST /batch"}
+            return self._handle_batch(data)
+        if path == "/explore":
+            if method != "POST":
+                return 405, {"error": "use POST /explore"}
+            return self._handle_explore(data)
+        if path == "/jobs":
+            if method != "GET":
+                return 405, {"error": "use GET /jobs"}
+            return 200, {"jobs": self.jobs.list()}
+        if path.startswith("/jobs/"):
+            return self._handle_job(method, path, query)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    def _health(self) -> dict:
+        cache = self.engine.cache
+        return {"ok": True,
+                "jobs": self.jobs.counts(),
+                "workers": self.engine.workers,
+                "cache": (dict(cache.stats.as_dict(),
+                               root=str(cache.root))
+                          if cache is not None else None)}
+
+    # -- endpoint handlers -------------------------------------------------
+
+    async def _handle_generate(self, data) -> tuple[int, dict]:
+        if not isinstance(data, dict):
+            raise _BadRequest("body must be a JSON object")
+        include_rtl = bool(data.get("include_rtl", False))
+        payload = data.get("request")
+        if payload is None:
+            payload = {k: v for k, v in data.items() if k != "include_rtl"}
+        request = _request_from_body(payload)
+        # Warm fast path: answer *memory-tier* hits directly on the
+        # event loop — such a hit is a dict lookup plus JSON, and
+        # skipping the two executor-thread handoffs roughly halves warm
+        # latency.  Disk-tier hits still go through the executor: their
+        # open()+json.load() must not stall every other connection.
+        if self.engine.cache is not None:
+            key = request.spec_hash()
+            record = self.engine.cache.get_memory(key)
+            if record is not None:
+                result = DesignResult.from_record(key, record)
+                return 200, _result_to_json(result,
+                                            include_rtl=include_rtl)
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, self.engine.submit,
+                                            request)
+        return 200, _result_to_json(result, include_rtl=include_rtl)
+
+    def _handle_batch(self, data) -> tuple[int, dict]:
+        if not isinstance(data, dict) or "requests" not in data:
+            raise _BadRequest('body must be {"requests": [...]}')
+        specs = data["requests"]
+        if not isinstance(specs, list) or not specs:
+            raise _BadRequest('"requests" must be a non-empty list')
+        _check_number(data, "workers", kind=int, minimum=1)
+        requests = [_request_from_body(spec) for spec in specs]
+        job = self.jobs.create("batch", {
+            "include_rtl": bool(data.get("include_rtl", False)),
+            "workers": data.get("workers"),
+            "n_requests": len(requests),
+        })
+        self._submit(self._run_batch_job, job, requests)
+        return 202, {"job": job.id, "status": job.status,
+                     "requests": len(requests)}
+
+    def _handle_explore(self, data) -> tuple[int, dict]:
+        from ..models import zoo
+
+        if not isinstance(data, dict):
+            raise _BadRequest("body must be a JSON object")
+        checkpoint = data.get("checkpoint")
+        if checkpoint is not None and not isinstance(checkpoint, dict):
+            raise _BadRequest('"checkpoint" must be a checkpoint object')
+        if checkpoint is not None:
+            model_names = checkpoint.get("model_names", [])
+        else:
+            model_names = data.get("models", ["ResNet50"])
+        if (not isinstance(model_names, list) or not model_names
+                or not all(isinstance(m, str) for m in model_names)):
+            raise _BadRequest('"models" must be a list of model names')
+        unknown = [m for m in model_names if m not in zoo.MODEL_BUILDERS]
+        if unknown:
+            raise _BadRequest(f"unknown models {unknown}; choose from "
+                              f"{sorted(zoo.MODEL_BUILDERS)}")
+        step = data.get("step_evals", self.step_evals)
+        if step is not None and (isinstance(step, bool)
+                                 or not isinstance(step, (int, float))
+                                 or step <= 0):
+            raise _BadRequest('"step_evals" must be a positive number '
+                              "(or null to run without pausing)")
+        _check_number(data, "max_evals", minimum=1)
+        _check_number(data, "seed", kind=int)
+        _check_number(data, "area_budget_mm2")
+        strategy = data.get("strategy", "exhaustive")
+        params = {
+            "models": model_names,
+            "strategy": strategy,
+            "objective": data.get("objective", "edp"),
+            "max_evals": data.get("max_evals"),
+            "seed": data.get("seed", 0),
+            "area_budget_mm2": data.get("area_budget_mm2"),
+            "space": data.get("space"),
+            "step_evals": step,
+            "checkpoint": checkpoint,
+        }
+        # Fail fast on bad strategy/space/objective before queueing.
+        from ..dse.strategies import OBJECTIVES, get_strategy
+        if (params["space"] is not None
+                and not isinstance(params["space"], dict)):
+            raise _BadRequest('"space" must be an object of DesignSpace '
+                              "axes (see repro.dse.space_to_dict)")
+        try:
+            if checkpoint is None:
+                get_strategy(strategy)
+            if params["space"] is not None:
+                space_from_dict(params["space"])
+        except (ValueError, TypeError, KeyError) as exc:
+            raise _BadRequest(str(exc)) from None
+        if params["objective"] not in OBJECTIVES:
+            raise _BadRequest(f"unknown objective "
+                              f"{params['objective']!r}; expected "
+                              f"{sorted(OBJECTIVES)}")
+        job = self.jobs.create("explore", params)
+        job.checkpoint = checkpoint
+        self._submit(self._run_explore_job, job)
+        return 202, {"job": job.id, "status": job.status,
+                     "resumed": checkpoint is not None}
+
+    def _handle_job(self, method, path, query) -> tuple[int, dict]:
+        parts = path.strip("/").split("/")
+        if len(parts) not in (2, 3):
+            return 404, {"error": f"no such endpoint: {path}"}
+        job = self.jobs.get(parts[1])
+        if job is None:
+            return 404, {"error": f"no such job: {parts[1]}"}
+        action = parts[2] if len(parts) == 3 else None
+        if action is None:
+            if method != "GET":
+                return 405, {"error": "use GET /jobs/<id>"}
+            include_ckpt = "checkpoint=0" not in query
+            return 200, job.to_dict(include_checkpoint=include_ckpt)
+        if method != "POST":
+            return 405, {"error": f"use POST /jobs/<id>/{action}"}
+        if action == "pause":
+            if job.kind != "explore":
+                return 400, {"error": "only explore jobs can be paused"}
+            if job.params.get("step_evals") is None:
+                return 400, {"error": "this job runs without a "
+                             "step_evals budget and cannot pause; "
+                             "submit with a step_evals to make an "
+                             "exploration pausable"}
+            accepted = job.pause()
+            return (202 if accepted else 400,
+                    {"job": job.id, "status": job.status,
+                     "accepted": accepted})
+        if action == "resume":
+            if not job.resume():
+                return 400, {"error": f"job {job.id} is not paused "
+                             f"(status {job.status})"}
+            self._submit(self._run_explore_job, job)
+            return 202, {"job": job.id, "status": job.status}
+        return 404, {"error": f"unknown job action {action!r}"}
+
+    # -- background work (executor threads) --------------------------------
+
+    def _submit(self, fn, *args) -> None:
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(None, fn, *args)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _run_batch_job(self, job, requests) -> None:
+        try:
+            job.start()
+            include_rtl = job.params.get("include_rtl", False)
+
+            def progress(done, total, _result):
+                job.update_progress(done=done, total=total)
+
+            results = self.engine.generate_many(
+                requests, workers=job.params.get("workers"),
+                progress=progress)
+            job.finish({
+                "results": [_result_to_json(r, include_rtl=include_rtl)
+                            for r in results],
+                "ok": sum(r.ok for r in results),
+                "from_cache": sum(r.from_cache for r in results),
+                "failed": [{"spec_hash": r.spec_hash, "error": r.error,
+                            "traceback": r.traceback}
+                           for r in results if not r.ok],
+            })
+        except Exception as exc:  # noqa: BLE001 — job table captures it
+            job.fail(f"{type(exc).__name__}: {exc}",
+                     traceback.format_exc())
+
+    def _run_explore_job(self, job) -> None:
+        from ..models import zoo
+
+        try:
+            job.start()
+            p = job.params
+            models = [zoo.MODEL_BUILDERS[name]() for name in p["models"]]
+            space = (space_from_dict(p["space"])
+                     if p.get("space") is not None else None)
+            ckpt = job.checkpoint
+            step = p.get("step_evals")
+            while True:
+                if ckpt is None:
+                    result, snapshot = run_checkpointed(
+                        models, space, strategy=p["strategy"],
+                        objective=p["objective"],
+                        area_budget_mm2=p["area_budget_mm2"],
+                        workers=self.engine.workers,
+                        cache=self.engine.cache,
+                        max_evals=p["max_evals"], seed=p["seed"],
+                        model_names=p["models"], step_evals=step)
+                else:
+                    result, snapshot = run_checkpointed(
+                        models=models, checkpoint=ckpt,
+                        workers=self.engine.workers,
+                        cache=self.engine.cache, step_evals=step)
+                stalled = (job.checkpoint is not None
+                           and snapshot.evals_used
+                           <= job.checkpoint.get("evals_used", -1.0))
+                ckpt = snapshot.to_dict()
+                job.checkpoint = ckpt
+                job.update_progress(**snapshot.progress())
+                if result is not None:
+                    job.finish(_search_result_to_json(result))
+                    return
+                if job.pause_requested or self._closing.is_set():
+                    job.mark_paused()
+                    return
+                if stalled:
+                    # Defense in depth: a step that charges nothing can
+                    # never finish — fail loudly instead of spinning.
+                    job.fail("exploration step made no progress "
+                             f"(evals_used stuck at "
+                             f"{snapshot.evals_used})")
+                    return
+        except Exception as exc:  # noqa: BLE001 — job table captures it
+            job.fail(f"{type(exc).__name__}: {exc}",
+                     traceback.format_exc())
+
+
+# ---------------------------------------------------------------------------
+# Entry points: blocking serve() for the CLI, ServerThread for embedding.
+# ---------------------------------------------------------------------------
+
+async def _serve_async(server: DesignServer, ready=None) -> None:
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover — ctrl-C path
+        pass
+    finally:
+        await server.stop()
+
+
+def _engine_spec(engine: BatchEngine) -> dict:
+    """Picklable recipe for rebuilding an equivalent engine in a
+    sibling process (a live engine holds locks and can't cross a spawn
+    boundary)."""
+    spec: dict = {"workers": engine.workers, "cache": None}
+    if engine.cache is not None:
+        spec["cache"] = {"root": str(engine.cache.root),
+                         "memory_entries": engine.cache.memory_entries,
+                         "disk_entries": engine.cache.disk_entries}
+    return spec
+
+
+def _serve_worker(engine_spec, host, port, step_evals) -> None:
+    """One SO_REUSEPORT sibling of a multi-process ``repro serve``."""
+    from .cache import DesignCache
+
+    cache = (DesignCache(**engine_spec["cache"])
+             if engine_spec["cache"] is not None else None)
+    engine = BatchEngine(cache=cache, workers=engine_spec["workers"])
+    server = DesignServer(engine=engine, host=host, port=port,
+                          step_evals=step_evals, reuse_port=True)
+    try:
+        asyncio.run(_serve_async(server))
+    except KeyboardInterrupt:  # pragma: no cover — parent tears us down
+        pass
+
+
+def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
+          port: int = 8731, step_evals: float = 1.0,
+          processes: int = 1, quiet: bool = False) -> None:
+    """Run the server until interrupted (the ``repro serve`` command).
+
+    ``processes > 1`` forks that many SO_REUSEPORT siblings sharing the
+    same port: the kernel spreads incoming connections across them, and
+    they share warm designs through the (multi-process-safe) disk tier
+    of the cache.  Stateful job endpoints stay consistent per
+    *connection* (HTTP keep-alive pins a client to one sibling), so
+    submit-then-poll over one connection works; cross-connection polling
+    of a specific job is only guaranteed with ``processes=1``.
+    """
+    workers: list = []
+    server = DesignServer(engine=engine, host=host, port=port,
+                          step_evals=step_evals,
+                          reuse_port=processes > 1)
+    if processes > 1:
+        import multiprocessing
+
+        if port == 0:
+            raise ValueError("multi-process serving needs a fixed --port "
+                             "(ephemeral port 0 would bind one port per "
+                             "process)")
+        ctx = multiprocessing.get_context()
+        workers = [ctx.Process(target=_serve_worker, daemon=True,
+                               args=(_engine_spec(server.engine), host,
+                                     port, step_evals))
+                   for _ in range(processes - 1)]
+
+    def announce(srv: DesignServer) -> None:
+        for worker in workers:
+            worker.start()
+        if not quiet:
+            cache = srv.engine.cache
+            where = cache.root if cache is not None else "disabled"
+            print(f"repro design service on {srv.url} "
+                  f"(cache: {where}, workers: {srv.engine.workers}, "
+                  f"processes: {processes})", flush=True)
+
+    # `kill <pid>` (SIGTERM) must shut down as cleanly as ctrl-C so the
+    # SO_REUSEPORT siblings are torn down too, not orphaned.
+    def _terminate(signum, frame):  # pragma: no cover — signal path
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        asyncio.run(_serve_async(server, ready=announce))
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        # Only touch workers that actually started: a failed bind raises
+        # before announce(), and terminate()/join() on an unstarted
+        # Process would mask that error.
+        started = [w for w in workers if w.ident is not None]
+        for worker in started:
+            worker.terminate()
+        for worker in started:
+            worker.join(timeout=10)
+
+
+class ServerThread:
+    """A :class:`DesignServer` on a background thread (tests, benchmarks,
+    notebooks).  Context-manager friendly:
+
+    ``with ServerThread(engine) as url: ...``
+    """
+
+    def __init__(self, engine: BatchEngine | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 step_evals: float = 1.0):
+        self.server = DesignServer(engine=engine, host=host, port=port,
+                                   step_evals=step_evals)
+        self._ready = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(timeout=30) or self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def __enter__(self) -> str:
+        self.start()
+        return self.url
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()

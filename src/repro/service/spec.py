@@ -173,6 +173,11 @@ class DesignResult:
     elapsed_s: float = 0.0
     from_cache: bool = False
     error: str | None = None
+    #: full formatted traceback of the original failure (``error`` is
+    #: just its last line) — preserved through the cache record and the
+    #: serving job table so a batch's design #713 can be debugged from
+    #: the client side.
+    traceback: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -191,6 +196,7 @@ class DesignResult:
             "summary": self.summary,
             "elapsed_s": self.elapsed_s,
             "error": self.error,
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -203,7 +209,8 @@ class DesignResult:
                    summary=record["summary"],
                    elapsed_s=record.get("elapsed_s", 0.0),
                    from_cache=from_cache,
-                   error=record.get("error"))
+                   error=record.get("error"),
+                   traceback=record.get("traceback"))
 
 
 def execute_request(request: DesignRequest) -> DesignResult:
@@ -240,4 +247,6 @@ def execute_request(request: DesignRequest) -> DesignResult:
             elapsed_s=time.perf_counter() - start,
             error="".join(traceback.format_exception_only(type(exc),
                                                           exc)).strip(),
+            traceback="".join(traceback.format_exception(
+                type(exc), exc, exc.__traceback__)),
         )

@@ -1,0 +1,170 @@
+"""Concurrency stress tests for the design cache: multiple processes
+writing, reading, and evicting the same root must never corrupt an
+entry or crash, and multiple threads sharing one ``DesignCache`` (the
+serving front end's executor pool) must never race the memory LRU."""
+
+import hashlib
+import json
+import multiprocessing
+import random
+import threading
+
+from repro.serialize import canonical_dumps
+from repro.service.cache import DesignCache
+
+
+def _key_for(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _record_for(tag: str) -> dict:
+    # Content-addressed integrity witness: the record names its own key.
+    return {"kind": "stress-v1", "echo": _key_for(tag), "tag": tag,
+            "payload": "x" * 256}
+
+
+def _hammer_process(root, worker, n_ops, failures):
+    """One writer/reader process: puts, gets, and (via the small
+    disk_entries bound) constant eviction scans."""
+    try:
+        cache = DesignCache(root=root, memory_entries=8, disk_entries=24)
+        rng = random.Random(worker)
+        for i in range(n_ops):
+            tag = f"w{worker}-{i}"
+            cache.put(_key_for(tag), _record_for(tag))
+            # Read back a random earlier entry — possibly evicted
+            # (None) but never corrupt.
+            probe = f"w{worker}-{rng.randrange(i + 1)}"
+            record = cache.get(_key_for(probe))
+            if record is not None and record["echo"] != _key_for(probe):
+                failures.put(f"{probe}: wrong record {record['echo']}")
+        if cache.stats.corrupt:
+            failures.put(f"worker {worker} saw "
+                         f"{cache.stats.corrupt} corrupt entries")
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        failures.put(f"worker {worker} crashed: {type(exc).__name__}: "
+                     f"{exc}")
+
+
+class TestCrossProcess:
+    def test_concurrent_writers_and_eviction(self, tmp_path):
+        """4 processes x 60 puts against a 24-entry bound: constant
+        eviction pressure, zero corruption."""
+        ctx = multiprocessing.get_context()
+        failures = ctx.Queue()
+        procs = [ctx.Process(target=_hammer_process,
+                             args=(str(tmp_path), w, 60, failures))
+                 for w in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        problems = []
+        while not failures.empty():
+            problems.append(failures.get())
+        assert not problems, problems
+
+        # Every surviving on-disk entry must still be a fully valid,
+        # self-consistent wrapper (atomic writes: no torn files).
+        survivor_cache = DesignCache(root=tmp_path)
+        keys = survivor_cache.keys()
+        assert keys, "eviction removed everything"
+        for key in keys:
+            payload = json.loads(survivor_cache.path_for(key).read_text())
+            assert payload["format"] == "lego-cache-v1"
+            assert payload["key"] == key
+            assert payload["record"]["echo"] == key
+        # And the final count respects (roughly) the configured bound:
+        # concurrent scans of stale snapshots must not have evicted the
+        # store to nothing — the flock serializes them.
+        assert len(keys) <= 24
+
+    def test_eviction_lock_skips_when_held(self, tmp_path):
+        """While one cache holds the eviction lock, another's scan is a
+        no-op instead of a double eviction."""
+        a = DesignCache(root=tmp_path, disk_entries=4)
+        b = DesignCache(root=tmp_path, disk_entries=4)
+        for i in range(8):
+            a.put(_key_for(f"seed-{i}"), _record_for(f"seed-{i}"))
+        with a._eviction_lock() as held:
+            assert held
+            before = len(b.keys())
+            b._evict_disk()  # must bail out: lock is taken
+            assert len(b.keys()) == before
+        b._evict_disk()
+        assert len(b.keys()) <= 4
+
+
+class TestThreadSafety:
+    def test_shared_cache_many_threads(self, tmp_path):
+        """The serving executor shares one cache across threads; the
+        memory-LRU lock must prevent membership/move_to_end races (this
+        crashed with KeyError before the lock)."""
+        cache = DesignCache(root=tmp_path, memory_entries=4,
+                            disk_entries=256)
+        tags = [f"t{i}" for i in range(16)]
+        for tag in tags:
+            cache.put(_key_for(tag), _record_for(tag))
+        errors: list = []
+
+        def churn(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(300):
+                    tag = rng.choice(tags)
+                    if rng.random() < 0.3:
+                        cache.put(_key_for(tag), _record_for(tag))
+                    else:
+                        record = cache.get(_key_for(tag))
+                        assert (record is None
+                                or record["echo"] == _key_for(tag))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert cache.stats.corrupt == 0
+
+    def test_atomic_put_never_partially_visible(self, tmp_path):
+        """A reader polling while a writer overwrites the same key must
+        only ever see complete versions (os.replace atomicity)."""
+        cache_w = DesignCache(root=tmp_path)
+        cache_r = DesignCache(root=tmp_path, memory_entries=0)
+        key = _key_for("contended")
+        stop = threading.Event()
+        errors: list = []
+
+        def write():
+            i = 0
+            while not stop.is_set():
+                record = dict(_record_for("contended"), version=i)
+                record_json = canonical_dumps(record)
+                cache_w.put(key, json.loads(record_json))
+                i += 1
+
+        def read():
+            try:
+                while not stop.is_set():
+                    record = cache_r.get(key)
+                    if record is not None:
+                        assert record["echo"] == key
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writer = threading.Thread(target=write)
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        writer.start()
+        for t in readers:
+            t.start()
+        writer.join(timeout=0.5)  # let them contend for half a second
+        stop.set()
+        for t in [writer, *readers]:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert cache_r.stats.corrupt == 0

@@ -1,0 +1,188 @@
+"""Property-style tests of DSE checkpointing: an interrupted-then-
+resumed search must reproduce the uninterrupted run's evaluation
+sequence **bit-for-bit** — same archs, same order, same raw
+cycles/energy floats, same metered cost — for many seeds, strategies,
+and interruption granularities, including across a JSON round-trip of
+every intermediate checkpoint (the wire format the server polls out)."""
+
+import json
+
+import pytest
+
+from repro.dse import (DesignSpace, SearchCheckpoint, SearchPaused,
+                       run_checkpointed, run_search, space_from_dict,
+                       space_to_dict)
+from repro.dse.strategies import PointEvaluator
+from repro.models import zoo
+
+SPACE = DesignSpace(arrays=((8, 8), (16, 16), (8, 32)),
+                    buffer_kb=(128.0, 256.0),
+                    dataflow_sets=(("ICOC",), ("MN", "ICOC")))
+MODELS = [zoo.lenet()]
+SEEDS = range(6)
+
+
+def interrupted_run(strategy, seed, step, max_evals=8, json_hop=True):
+    """Drive a search to completion in `step`-sized interrupted pieces,
+    optionally JSON-round-tripping the checkpoint between pieces."""
+    result, ckpt = run_checkpointed(MODELS, SPACE, strategy=strategy,
+                                    seed=seed, max_evals=max_evals,
+                                    step_evals=step)
+    hops = 0
+    while result is None:
+        hops += 1
+        assert hops < 200, "resume loop did not converge"
+        if json_hop:
+            ckpt = SearchCheckpoint.loads(ckpt.dumps())
+        result, ckpt = run_checkpointed(checkpoint=ckpt, step_evals=step)
+    return result, ckpt, hops
+
+
+class TestBitForBitReplay:
+    @pytest.mark.parametrize("strategy", ["exhaustive", "anneal",
+                                          "halving"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eval_sequence_identical(self, strategy, seed):
+        full, done = run_checkpointed(MODELS, SPACE, strategy=strategy,
+                                      seed=seed, max_evals=8)
+        step = 0.5 + (seed % 3)  # vary the interruption granularity
+        result, ckpt, hops = interrupted_run(strategy, seed, step)
+        assert done.completed and ckpt.completed
+        # The witness: every charged evaluation, in order, with the raw
+        # model rows — equality here is exact float equality.
+        assert ckpt.eval_log == done.eval_log
+        assert ckpt.evals_used == done.evals_used
+        assert ckpt.points_evaluated == done.points_evaluated
+        assert result.best.arch.name == full.best.arch.name
+        assert result.best.edp == full.best.edp
+        assert ([p.arch.name for p in result.points]
+                == [p.arch.name for p in full.points])
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_eval_steps_anneal(self, seed):
+        """The finest pause granularity (one eval per request) still
+        replays exactly — the serving front end's default."""
+        full, done = run_checkpointed(MODELS, SPACE, strategy="anneal",
+                                      seed=seed, max_evals=6)
+        result, ckpt, hops = interrupted_run("anneal", seed, step=1,
+                                             max_evals=6)
+        assert ckpt.eval_log == done.eval_log
+        assert result.best.edp == full.best.edp
+        assert hops >= 1  # the run was actually interrupted
+
+    def test_paused_run_is_a_prefix(self):
+        result, ckpt = run_checkpointed(MODELS, SPACE, strategy="anneal",
+                                        seed=0, max_evals=8, step_evals=2)
+        assert result is None and not ckpt.completed
+        _, done = run_checkpointed(MODELS, SPACE, strategy="anneal",
+                                   seed=0, max_evals=8)
+        assert ckpt.eval_log == done.eval_log[:len(ckpt.eval_log)]
+        assert len(ckpt.eval_log) < len(done.eval_log)
+        assert ckpt.rng_state is not None  # the pause-time RNG snapshot
+
+    def test_matches_plain_run_search(self):
+        """run_checkpointed without a step is run_search plus a
+        completed checkpoint."""
+        direct = run_search(MODELS, SPACE, strategy="halving", seed=3)
+        result, ckpt = run_checkpointed(MODELS, SPACE, strategy="halving",
+                                        seed=3)
+        assert ckpt.completed and ckpt.rng_state is None
+        assert result.best.edp == direct.best.edp
+        assert result.evals_used == direct.evals_used
+
+    def test_strategy_params_survive_resume(self):
+        from repro.dse import SuccessiveHalving
+
+        strat = SuccessiveHalving(eta=2, proxy_fraction=0.5)
+        result, ckpt = run_checkpointed(MODELS, SPACE, strategy=strat,
+                                        seed=1, step_evals=1)
+        assert ckpt.strategy_params == {"eta": 2, "proxy_fraction": 0.5}
+        while result is None:
+            result, ckpt = run_checkpointed(checkpoint=ckpt, step_evals=1)
+        full, _ = run_checkpointed(MODELS, SPACE,
+                                   strategy=SuccessiveHalving(
+                                       eta=2, proxy_fraction=0.5),
+                                   seed=1)
+        assert result.best.edp == full.best.edp
+
+
+class TestCheckpointFormat:
+    def test_json_roundtrip_exact(self):
+        _, ckpt = run_checkpointed(MODELS, SPACE, strategy="anneal",
+                                   seed=2, max_evals=5, step_evals=2)
+        clone = SearchCheckpoint.loads(ckpt.dumps())
+        assert clone.to_dict() == ckpt.to_dict()
+
+    def test_save_load_file(self, tmp_path):
+        _, ckpt = run_checkpointed(MODELS, SPACE, seed=0, step_evals=1)
+        path = ckpt.save(tmp_path / "search.ckpt.json")
+        resumed, done = run_checkpointed(checkpoint=path, step_evals=100)
+        assert done.completed and resumed.best is not None
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            SearchCheckpoint.from_dict({"format": "something-else"})
+
+    def test_space_roundtrip(self):
+        clone = space_from_dict(json.loads(json.dumps(
+            space_to_dict(SPACE))))
+        assert clone == SPACE
+
+    def test_model_fingerprint_mismatch_rejected(self):
+        _, ckpt = run_checkpointed(MODELS, SPACE, seed=0, step_evals=1)
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_checkpointed(models=[zoo.alexnet()], checkpoint=ckpt,
+                             step_evals=1)
+
+    def test_non_zoo_model_needs_explicit_models(self):
+        from repro.models.layers import Model
+
+        custom = Model("custom", zoo.lenet().layers)
+        _, ckpt = run_checkpointed([custom], SPACE, seed=0, step_evals=1)
+        with pytest.raises(ValueError, match="zoo"):
+            run_checkpointed(checkpoint=ckpt, step_evals=1)
+        result, done = run_checkpointed(models=[custom], checkpoint=ckpt,
+                                        step_evals=100)
+        assert done.completed and result.best is not None
+
+    def test_fresh_run_requires_models(self):
+        with pytest.raises(ValueError, match="models"):
+            run_checkpointed(space=SPACE)
+
+
+class TestPauseMechanics:
+    def test_evaluator_raises_when_budget_spent(self):
+        evaluator = PointEvaluator(MODELS, pause_after=2.0)
+        archs = list(SPACE.points())[:4]
+        with pytest.raises(SearchPaused):
+            evaluator.evaluate(archs)
+        assert evaluator.evals_used == 2.0
+        assert len(evaluator.eval_log) == 2
+
+    def test_no_pause_without_budget(self):
+        evaluator = PointEvaluator(MODELS)
+        points = evaluator.evaluate(list(SPACE.points())[:3])
+        assert len(points) == 3
+
+    def test_checkpoint_rows_make_resume_cheap(self):
+        """Replay must reuse the checkpoint's rows rather than
+        recomputing: a resume with a poisoned evaluate_model would only
+        survive if every warm row came from the checkpoint."""
+        _, ckpt = run_checkpointed(MODELS, SPACE, strategy="exhaustive",
+                                   seed=0, step_evals=100)
+        assert ckpt.completed and len(ckpt.rows) > 0
+        # Resume the finished search: every row is warm, zero cold work.
+        import repro.sim.perf_model as perf
+
+        original = perf.evaluate_model
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume recomputed a warm row")
+
+        perf.evaluate_model = boom
+        try:
+            result, done = run_checkpointed(checkpoint=ckpt)
+        finally:
+            perf.evaluate_model = original
+        assert done.completed
+        assert done.eval_log == ckpt.eval_log

@@ -1,0 +1,357 @@
+"""End-to-end tests of the asyncio serving front end: real sockets on
+ephemeral ports, the stdlib client, concurrent traffic against the warm
+cache, malformed-input status codes, and pause/resume of exploration
+jobs (including resuming on a brand-new server from a polled
+checkpoint, the killed-server scenario)."""
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.dse import run_search
+from repro.dse.explorer import DesignSpace
+from repro.models import zoo
+from repro.service import (BatchEngine, DesignCache, ServerThread,
+                           ServiceClient, ServiceError)
+
+SMALL_SPACE = {
+    "arrays": [[8, 8], [16, 16]],
+    "buffer_kb": [128.0, 256.0],
+    "dram_gbps": [16.0],
+    "dataflow_sets": [["ICOC"], ["MN", "ICOC"]],
+}
+
+TINY = {"kernel": "gemm", "dataflows": ["KJ"], "array": [2, 2]}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache = DesignCache(root=tmp_path_factory.mktemp("serve-cache"))
+    handle = ServerThread(BatchEngine(cache=cache)).start()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient.from_url(server.url) as c:
+        yield c
+
+
+class TestGenerate:
+    def test_roundtrip_and_cache_hit(self, client):
+        first = client.generate(TINY)
+        assert first["ok"] and first["summary"]
+        assert first["kernel"] == "gemm"
+        second = client.generate(TINY)
+        assert second["from_cache"]
+        assert second["spec_hash"] == first["spec_hash"]
+
+    def test_include_rtl(self, client):
+        result = client.generate(TINY, include_rtl=True)
+        assert "module" in result["rtl"]
+        assert "rtl" not in client.generate(TINY)
+
+    def test_flat_body_without_request_wrapper(self, client):
+        result = client.request("POST", "/generate", dict(TINY))
+        assert result["ok"]
+
+    def test_failed_generation_preserves_traceback(self, client):
+        bad = {"kernel": "gemm", "dataflows": ["XX"], "array": [2, 2]}
+        result = client.generate(bad)
+        assert not result["ok"] and result["error"]
+        assert "Traceback" in result["traceback"]
+
+    def test_unknown_kernel_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.generate(kernel="fft")
+        assert err.value.status == 400
+
+    def test_unknown_field_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.generate(kernal="gemm")
+        assert err.value.status == 400
+        assert "kernal" in str(err.value)
+
+    def test_health(self, client):
+        health = client.health()
+        assert health["ok"] and health["cache"]["root"]
+
+
+class TestHttpEdges:
+    def _raw(self, server, payload: bytes) -> tuple[int, dict]:
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            sock.sendall(payload)
+            sock.settimeout(10)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                data += sock.recv(65536)
+            head, _, rest = data.partition(b"\r\n\r\n")
+            status = int(head.split()[1])
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":")[1])
+            while len(rest) < length:
+                rest += sock.recv(65536)
+            return status, json.loads(rest.decode())
+
+    def test_malformed_json_400(self, server):
+        body = b"{this is not json"
+        status, payload = self._raw(
+            server,
+            b"POST /generate HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+            % (len(body), body))
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/designs")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/generate")
+        assert err.value.status == 405
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.job("explore-999-deadbe")
+        assert err.value.status == 404
+
+    def test_batch_requires_requests_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/batch", {"workers": 2})
+        assert err.value.status == 400
+
+    def test_explore_unknown_model_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.explore(models=["NotAModel"])
+        assert err.value.status == 400
+
+    def test_explore_unknown_strategy_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.explore(models=["LeNet"], strategy="gradient")
+        assert err.value.status == 400
+
+    def test_explore_nonpositive_step_400(self, client):
+        """step_evals <= 0 would be a zero-progress infinite loop."""
+        for bad in (0, -1, "fast", True):
+            with pytest.raises(ServiceError) as err:
+                client.explore(models=["LeNet"], step_evals=bad)
+            assert err.value.status == 400
+
+    def test_bad_numeric_params_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/batch",
+                           {"requests": [dict(TINY)], "workers": "4"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.explore(models=["LeNet"], max_evals="20")
+        assert err.value.status == 400
+
+    def test_explore_non_object_space_400(self, client):
+        for bad_space in ("grid", [1, 2], 7):
+            with pytest.raises(ServiceError) as err:
+                client.explore(models=["LeNet"], space=bad_space)
+            assert err.value.status == 400
+
+    def test_registry_backpressure_503(self):
+        """Live jobs beyond max_jobs are refused (503), not accumulated
+        without bound; finishing a job frees a slot."""
+        from repro.service.jobs import JobRegistry, RegistryFull
+
+        registry = JobRegistry(max_jobs=2)
+        first = registry.create("explore", {})
+        registry.create("explore", {})
+        with pytest.raises(RegistryFull):
+            registry.create("explore", {})
+        first.finish({})
+        registry.create("explore", {})  # slot freed
+
+    def test_pause_rejected_without_step_budget(self, client):
+        """A job submitted with step_evals=null never reaches a pause
+        point; accepting the pause would leave the client waiting."""
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, step_evals=None)
+        with pytest.raises(ServiceError) as err:
+            client.pause(job_id)
+        assert err.value.status == 400
+        assert "step_evals" in str(err.value)
+        client.wait(job_id, timeout=180)
+
+
+class TestBatchJobs:
+    def test_batch_job_roundtrip(self, client):
+        requests = [dict(TINY, dataflows=[d]) for d in ("KJ", "IJ", "IK")]
+        job_id = client.batch(requests)
+        final = client.wait(job_id)
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["ok"] == 3 and len(result["results"]) == 3
+        assert final["progress"]["done"] == 3
+        assert any(j["id"] == job_id for j in client.jobs())
+
+    def test_batch_captures_per_request_traceback(self, client):
+        requests = [dict(TINY),
+                    {"kernel": "gemm", "dataflows": ["XX"], "array": [2, 2]}]
+        final = client.wait(client.batch(requests))
+        assert final["status"] == "done"
+        assert final["result"]["ok"] == 1
+        (failed,) = final["result"]["failed"]
+        assert "Traceback" in failed["traceback"]
+
+    def test_pause_rejected_for_batch_jobs(self, client):
+        job_id = client.batch([dict(TINY)])
+        with pytest.raises(ServiceError) as err:
+            client.pause(job_id)
+        assert err.value.status == 400
+        client.wait(job_id)
+
+
+class TestConcurrentClients:
+    def test_warm_cache_under_concurrency(self, server, client):
+        client.generate(TINY)  # warm the entry
+        errors: list = []
+
+        def hammer():
+            try:
+                with ServiceClient.from_url(server.url) as own:
+                    for _ in range(5):
+                        result = own.generate(TINY)
+                        assert result["ok"] and result["from_cache"]
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert client.health()["ok"]
+
+    def test_interleaved_jobs_and_requests(self, server, client):
+        job_id = client.explore(models=["LeNet"], strategy="halving",
+                                space=SMALL_SPACE, step_evals=1)
+        # The event loop must keep answering while the job computes.
+        assert client.generate(TINY)["ok"]
+        final = client.wait(job_id, timeout=180)
+        assert final["status"] == "done"
+        assert final["result"]["best"] is not None
+
+
+class TestExploreJobs:
+    def test_explore_completes_and_matches_library(self, server, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, seed=7)
+        final = client.wait(job_id, timeout=180)
+        assert final["status"] == "done"
+        served = final["result"]
+        direct = run_search(
+            [zoo.lenet()],
+            DesignSpace(arrays=((8, 8), (16, 16)),
+                        buffer_kb=(128.0, 256.0),
+                        dataflow_sets=(("ICOC",), ("MN", "ICOC"))),
+            strategy="exhaustive", seed=7)
+        assert served["best"]["arch"]["name"] == direct.best.arch.name
+        assert served["evals_used"] == direct.evals_used
+        assert served["points_evaluated"] == direct.points_evaluated
+
+    def test_pause_then_resume_same_server(self, server, client):
+        job_id = client.explore(models=["LeNet"], strategy="anneal",
+                                max_evals=10, seed=5, space=SMALL_SPACE,
+                                step_evals=1)
+        client.pause(job_id)
+        state = client.wait(job_id)
+        if state["status"] == "paused":  # job may already have finished
+            assert state["checkpoint"] is not None
+            assert not state["checkpoint"]["completed"]
+            client.resume(job_id)
+            state = client.wait(job_id, timeout=180)
+        assert state["status"] == "done"
+        uninterrupted = run_search(
+            [zoo.lenet()],
+            DesignSpace(arrays=((8, 8), (16, 16)),
+                        buffer_kb=(128.0, 256.0),
+                        dataflow_sets=(("ICOC",), ("MN", "ICOC"))),
+            strategy="anneal", max_evals=10, seed=5)
+        assert (state["result"]["best"]["arch"]["name"]
+                == uninterrupted.best.arch.name)
+        assert state["result"]["evals_used"] == uninterrupted.evals_used
+
+    def test_killed_server_resumes_from_checkpoint(self, tmp_path):
+        """Start an exploration, kill the whole server mid-run, resume
+        the polled checkpoint on a brand-new server (fresh cache too):
+        the final best point must match an uninterrupted run."""
+        space = DesignSpace(arrays=((8, 8), (16, 16)),
+                            buffer_kb=(128.0, 256.0),
+                            dataflow_sets=(("ICOC",), ("MN", "ICOC")))
+        uninterrupted = run_search([zoo.lenet()], space, strategy="anneal",
+                                   max_evals=8, seed=11)
+
+        first = ServerThread(
+            BatchEngine(cache=DesignCache(root=tmp_path / "a"))).start()
+        try:
+            with ServiceClient.from_url(first.url) as c:
+                job_id = c.explore(models=["LeNet"], strategy="anneal",
+                                   max_evals=8, seed=11,
+                                   space=SMALL_SPACE, step_evals=1)
+                c.pause(job_id)  # deterministic "mid-run" stop
+                state = c.wait(job_id)
+                checkpoint = state["checkpoint"]
+        finally:
+            first.stop()  # the kill
+
+        if state["status"] == "done":  # finished before the pause landed
+            final_result = state["result"]
+        else:
+            assert checkpoint is not None and not checkpoint["completed"]
+            second = ServerThread(
+                BatchEngine(cache=DesignCache(root=tmp_path / "b"))).start()
+            try:
+                with ServiceClient.from_url(second.url) as c:
+                    resumed = c.explore(checkpoint=checkpoint,
+                                        step_evals=1)
+                    final = c.wait(resumed, timeout=180)
+                    assert final["status"] == "done"
+                    final_result = final["result"]
+            finally:
+                second.stop()
+        assert (final_result["best"]["arch"]["name"]
+                == uninterrupted.best.arch.name)
+        assert final_result["evals_used"] == uninterrupted.evals_used
+
+    def test_checkpoint_excluded_on_request(self, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, step_evals=1)
+        client.wait(job_id, timeout=180)
+        assert "checkpoint" not in client.job(job_id, checkpoint=False)
+
+    def test_resume_of_running_job_400(self, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE)
+        with pytest.raises(ServiceError) as err:
+            client.resume(job_id)
+        assert err.value.status == 400
+        client.wait(job_id, timeout=180)
+
+
+class TestKeepAlive:
+    def test_connection_reuse(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                json.loads(response.read().decode())
+        finally:
+            conn.close()

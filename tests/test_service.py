@@ -235,6 +235,28 @@ class TestBatchEngine:
         # failures are never cached: a retry recomputes
         assert cache.get(bad.spec_hash()) is None
 
+    def test_error_capture_preserves_traceback(self):
+        """The captured failure must carry the original traceback (file
+        and line of the raise site), not just the exception's last
+        line — and it must survive the record round-trip."""
+        from repro.service import DesignResult
+
+        bad = DesignRequest(kernel="gemm", dataflows=("XX",), array=(2, 2))
+        result = BatchEngine(cache=None).submit(bad)
+        assert not result.ok
+        assert result.traceback is not None
+        assert "Traceback (most recent call last)" in result.traceback
+        assert "File " in result.traceback  # the original raise site
+        assert result.traceback.rstrip().endswith(result.error)
+        clone = DesignResult.from_record(result.spec_hash,
+                                         result.to_record())
+        assert clone.traceback == result.traceback
+        # Pre-traceback cache records still load (missing key -> None).
+        legacy = result.to_record()
+        del legacy["traceback"]
+        assert DesignResult.from_record(result.spec_hash,
+                                        legacy).traceback is None
+
     def test_progress_reports_cold_work(self):
         seen = []
         BatchEngine(cache=None).generate_many(
