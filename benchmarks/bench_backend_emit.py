@@ -1,0 +1,69 @@
+"""Backend emit latency per family, warm vs cold.
+
+The emitter registry opens the generator to multiple target languages;
+this benchmark quantifies what each family costs on the same design
+and what the content-addressed cache buys back:
+
+1. **cold** — full ``execute_request`` (frontend -> passes -> emit) per
+   family, no cache;
+2. **warm** — the same request answered by the shared cache (which
+   addresses each family's designs under distinct content hashes).
+
+The acceptance bars are that every registered family round-trips
+through the engine, and that a warm hit is at least 50x faster than its
+cold generation (in practice it is thousands).
+"""
+
+import time
+
+from conftest import record_table
+from repro.backends import backend_names
+from repro.service import BatchEngine, DesignCache
+from repro.service.spec import DesignRequest, execute_request
+
+SPEC = dict(kernel="gemm", dataflows=("KJ",), array=(4, 4))
+WARM_REPEATS = 50
+
+
+def test_backend_emit_latency(benchmark, tmp_path):
+    engine = BatchEngine(cache=DesignCache(root=tmp_path / "cache"))
+    rows = []
+    ratios = {}
+    for name in backend_names():
+        request = DesignRequest(backend=name, **SPEC)
+
+        start = time.perf_counter()
+        cold = execute_request(request)
+        cold_s = time.perf_counter() - start
+        assert cold.ok, cold.error
+
+        primed = engine.submit(request)   # populate the cache
+        assert primed.ok and not primed.from_cache
+        start = time.perf_counter()
+        for _ in range(WARM_REPEATS):
+            warm = engine.submit(request)
+            assert warm.from_cache
+        warm_s = (time.perf_counter() - start) / WARM_REPEATS
+
+        total_bytes = sum(len(text) for text in cold.artifacts.values())
+        ratios[name] = cold_s / max(warm_s, 1e-9)
+        rows.append(f"{name:10s} cold {cold_s:8.3f}s   "
+                    f"warm {warm_s * 1e3:8.3f}ms   "
+                    f"speedup {ratios[name]:9.0f}x   "
+                    f"{len(cold.artifacts)} artifacts, "
+                    f"{total_bytes / 1024:7.1f} KiB")
+
+    record_table(
+        "backend_emit",
+        f"Backend emit latency ({SPEC['kernel']}-"
+        f"{'+'.join(SPEC['dataflows'])} @"
+        f"{SPEC['array'][0]}x{SPEC['array'][1]}, warm = cache hit)",
+        rows)
+    for name, ratio in ratios.items():
+        assert ratio >= 50, \
+            f"{name}: warm hit only {ratio:.0f}x faster than cold"
+
+    # pytest-benchmark timing: the full per-family warm round-trip.
+    requests = [DesignRequest(backend=name, **SPEC)
+                for name in backend_names()]
+    benchmark(lambda: [engine.submit(r) for r in requests])

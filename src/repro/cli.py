@@ -4,8 +4,11 @@
 Commands
 --------
 ``generate``   run the full flow for a named kernel/dataflow and emit
-               Verilog plus a design summary (service-cached);
+               the chosen backend family's artifacts (Verilog by
+               default, ``--backend hls_c`` for HLS-style C) plus a
+               design summary (service-cached);
 ``batch``      generate many designs at once across a worker pool;
+``backends``   list the registered emitter backend families;
 ``evaluate``   end-to-end model performance on a named architecture;
 ``explore``    design-space exploration with a Pareto report, under a
                pluggable search strategy (``--strategy``/``--max-evals``);
@@ -55,7 +58,14 @@ def _request_from_args(args: argparse.Namespace, dataflows=None):
         systolic=not args.broadcast,
         options=options,
         module=getattr(args, "module", "lego_top"),
+        backend=getattr(args, "backend", "verilog"),
     )
+
+
+def _artifact_suffix(name: str, module: str) -> str:
+    """`lego_top_tb.c` emitted for module `lego_top` -> `_tb.c` — the
+    per-artifact suffix appended to a hash- or stem-based filename."""
+    return name[len(module):] if name.startswith(module) else f"_{name}"
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -78,10 +88,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         for tensor in adg.tensor_names():
             print(render_topology(adg, tensor, dfs[0].name))
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(result.rtl)
-        print(f"wrote {len(result.rtl.splitlines())} lines of Verilog to "
-              f"{args.output}")
+        import pathlib
+
+        out_path = pathlib.Path(args.output)
+        out_path.write_text(result.rtl)
+        print(f"wrote {len(result.rtl.splitlines())} lines "
+              f"({request.backend}) to {args.output}")
+        # Companion artifacts (e.g. the hls_c testbench) land next to
+        # the primary one, named after its stem.
+        primary = next(iter(result.artifacts), None)
+        stem = out_path.name
+        for suffix in (out_path.suffixes or [""])[::-1]:
+            stem = stem.removesuffix(suffix)
+        for name, text in result.artifacts.items():
+            if name == primary:
+                continue
+            side = out_path.with_name(
+                stem + _artifact_suffix(name, request.module))
+            side.write_text(text)
+            print(f"wrote companion artifact {side}")
     return 0
 
 
@@ -149,8 +174,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for result in results:
             if not result.ok:
                 continue
-            (out / f"{result.spec_hash[:16]}.v").write_text(result.rtl)
-            (out / f"{result.spec_hash[:16]}.json").write_text(
+            stem = result.spec_hash[:16]
+            for name, text in result.artifacts.items():
+                suffix = _artifact_suffix(name, result.request.module)
+                (out / f"{stem}{suffix}").write_text(text)
+            (out / f"{stem}.json").write_text(
                 json.dumps(result.design, indent=1))
         print(f"wrote {sum(r.ok for r in results)} designs to {out}")
 
@@ -168,6 +196,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if args.show_traceback and result.traceback:
                 print(result.traceback, file=sys.stderr)
     return 0 if ok == len(results) else 1
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from .service.api import list_backends
+
+    families = list_backends()
+    if args.names:
+        for family in families:
+            print(family["name"])
+        return 0
+    for family in families:
+        print(f"{family['name']}")
+        print(f"  {family['description']}")
+        print(f"  artifacts : "
+              f"{', '.join(family['artifacts'])}")
+        opts = ", ".join(f"{k}={v['default']}"
+                         for k, v in family["options"].items())
+        print(f"  options   : {opts}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -210,7 +257,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             req = record.get("request", {})
             print(f"{key[:16]}  design  {req.get('kernel', '?')}-"
                   f"{'+'.join(req.get('dataflows', []))} "
-                  f"@{'x'.join(map(str, req.get('array', [])))}")
+                  f"@{'x'.join(map(str, req.get('array', [])))} "
+                  f"[{req.get('backend', 'verilog')}]")
     return 0
 
 
@@ -270,6 +318,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse tree (also introspected by the docs-sync test
     and the ``docs/cli.md`` reference)."""
+    from .backends import backend_names
+
     parser = argparse.ArgumentParser(
         prog="repro", description="LEGO spatial accelerator generator "
         "(HPCA'25 reproduction)")
@@ -287,7 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="delay matching only (the Fig. 10 baseline)")
     gen.add_argument("--topology", action="store_true",
                      help="print per-tensor interconnect diagrams")
-    gen.add_argument("--output", "-o", help="write Verilog here")
+    gen.add_argument("--backend", default="verilog",
+                     choices=backend_names(),
+                     help="emitter backend family (see `repro backends`)")
+    gen.add_argument("--output", "-o", help="write the primary emitted "
+                     "artifact here (companion artifacts land beside it)")
     gen.add_argument("--module", default="lego_top")
     _add_cache_flags(gen)
     gen.set_defaults(func=_cmd_generate)
@@ -307,10 +361,15 @@ def build_parser() -> argparse.ArgumentParser:
                      "instead of one design per dataflow")
     bat.add_argument("--broadcast", action="store_true")
     bat.add_argument("--no-optimize", action="store_true")
+    bat.add_argument("--backend", default="verilog",
+                     choices=backend_names(),
+                     help="emitter backend family for flag-built "
+                     "requests (see `repro backends`)")
     bat.add_argument("--workers", type=int, default=1,
                      help="worker processes for cold requests")
     bat.add_argument("--output-dir",
-                     help="write <hash>.v and <hash>.json per design here")
+                     help="write each design's emitted artifacts plus "
+                     "<hash>.json here")
     bat.add_argument("--show-traceback", action="store_true",
                      help="print the full captured traceback of each "
                      "failed request, not just the error line")
@@ -333,6 +392,14 @@ def build_parser() -> argparse.ArgumentParser:
                      "jobs, in full-model evaluations per step")
     _add_cache_flags(srv)
     srv.set_defaults(func=_cmd_serve)
+
+    bk = sub.add_parser("backends",
+                        help="list the registered emitter backend "
+                        "families")
+    bk.add_argument("--names", action="store_true",
+                    help="print bare family names only (one per line, "
+                    "for scripting)")
+    bk.set_defaults(func=_cmd_backends)
 
     ca = sub.add_parser("cache", help="inspect or clear the design cache")
     ca.add_argument("action", choices=["stats", "list", "clear"])

@@ -11,7 +11,7 @@ benchmarks all route through.
 """
 
 from .api import (cache_stats, clear_cache, explore_cached, generate_many,
-                  get_engine, submit)
+                  get_engine, list_backends, submit)
 from .cache import CacheStats, DesignCache
 from .client import ServiceClient, ServiceError
 from .engine import (BatchEngine, evaluate_archs, model_fingerprint,
@@ -26,7 +26,7 @@ __all__ = [
     "BatchEngine", "evaluate_archs", "requests_from_space",
     "model_fingerprint",
     "get_engine", "submit", "generate_many", "explore_cached",
-    "cache_stats", "clear_cache",
+    "cache_stats", "clear_cache", "list_backends",
     "DesignServer", "ServerThread", "serve",
     "ServiceClient", "ServiceError",
     "Job", "JobRegistry",

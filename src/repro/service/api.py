@@ -15,7 +15,7 @@ from .engine import BatchEngine
 from .spec import DesignRequest, DesignResult
 
 __all__ = ["get_engine", "submit", "generate_many", "explore_cached",
-           "cache_stats", "clear_cache"]
+           "cache_stats", "clear_cache", "list_backends"]
 
 _engine: BatchEngine | None = None
 
@@ -71,6 +71,18 @@ def explore_cached(models, space=None, objective: str = "edp",
                       area_budget_mm2=area_budget_mm2, tech=tech,
                       workers=workers or engine.workers,
                       cache=engine.cache, max_evals=max_evals, seed=seed)
+
+
+def list_backends() -> list[dict]:
+    """The registered emitter backend families and their option schemas
+    (the payload of ``GET /backends`` and ``repro backends``).
+
+    >>> [b["name"] for b in list_backends()]
+    ['hls_c', 'verilog']
+    """
+    from ..backends import backends_info
+
+    return backends_info()
 
 
 def cache_stats() -> dict:

@@ -103,12 +103,17 @@ class ServiceClient:
     def health(self) -> dict:
         return self.request("GET", "/healthz")
 
+    def backends(self) -> list[dict]:
+        """Registered emitter backend families (name, description,
+        artifact names, option schema) — ``GET /backends``."""
+        return self.request("GET", "/backends")["backends"]
+
     def generate(self, request: dict | None = None,
                  include_rtl: bool = False, **fields) -> dict:
         """Generate (or fetch) one design.  *request* is a design-request
         dict (``DesignRequest.to_dict`` shape, partial is fine); keyword
         fields are a shorthand: ``client.generate(kernel="gemm",
-        array=[4, 4])``."""
+        array=[4, 4], backend="hls_c")``."""
         spec = dict(request or {})
         spec.update(fields)
         body = {"request": spec}

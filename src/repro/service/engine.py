@@ -53,10 +53,14 @@ def _run_request_payload(payload: dict) -> tuple[str, dict]:
     return result.spec_hash, result.to_record()
 
 
-def requests_from_space(space, options=None) -> list[DesignRequest]:
+def requests_from_space(space, options=None,
+                        backend: str = "verilog") -> list[DesignRequest]:
     """Translate every architecture point of a DSE ``DesignSpace`` into
     generator requests (one per kernel family present in its dataflow
-    set), deduplicated — buffer/bandwidth axes do not change the RTL."""
+    set), deduplicated — buffer/bandwidth axes do not change the RTL.
+    *backend* names the emitter family every request targets, so a
+    sweep can be retargeted (e.g. ``backend="hls_c"``) without touching
+    the space."""
     seen: dict[str, DesignRequest] = {}
     for arch in space.points():
         per_kernel: dict[str, list[str]] = {}
@@ -67,7 +71,7 @@ def requests_from_space(space, options=None) -> list[DesignRequest]:
                 per_kernel[kernel].append(df)
         for kernel, dfs in sorted(per_kernel.items()):
             req = DesignRequest(kernel=kernel, dataflows=tuple(dfs),
-                                array=arch.array)
+                                array=arch.array, backend=backend)
             seen.setdefault(req.spec_hash(), req)
     return list(seen.values())
 

@@ -14,6 +14,7 @@ Endpoints (see ``docs/serving.md`` for the full reference):
 method   path                  purpose
 =======  ====================  ===========================================
 GET      ``/healthz``          liveness + cache stats + job counts
+GET      ``/backends``         registered emitter families + option schemas
 POST     ``/generate``         one design, synchronously (cache-first)
 POST     ``/batch``            many designs -> job id
 POST     ``/explore``          DSE search -> job id (checkpointed steps)
@@ -22,6 +23,12 @@ GET      ``/jobs/<id>``        full job status, result, checkpoint
 POST     ``/jobs/<id>/pause``  pause an exploration after its step
 POST     ``/jobs/<id>/resume`` resume a paused exploration
 =======  ====================  ===========================================
+
+``POST /generate`` and each entry of ``POST /batch`` accept a
+``"backend"`` request field naming the emitter family (``verilog`` by
+default); designs emitted by different families are cached under
+distinct content hashes, so a warm hit for one family is never served
+for another.
 
 `/explore` jobs advance in checkpointed steps
 (:func:`repro.dse.checkpoint.run_checkpointed`): after every
@@ -95,11 +102,13 @@ def _result_to_json(result: DesignResult,
            "kernel": result.request.kernel,
            "dataflows": list(result.request.dataflows),
            "array": list(result.request.array),
+           "backend": result.request.backend,
            "summary": result.summary,
            "error": result.error,
            "traceback": result.traceback}
     if include_rtl:
         out["rtl"] = result.rtl
+        out["artifacts"] = result.artifacts
     return out
 
 
@@ -272,6 +281,12 @@ class DesignServer:
             if method != "GET":
                 return 405, {"error": "use GET /healthz"}
             return 200, self._health()
+        if path == "/backends":
+            if method != "GET":
+                return 405, {"error": "use GET /backends"}
+            from ..backends import backends_info
+
+            return 200, {"backends": backends_info()}
         if path == "/generate":
             if method != "POST":
                 return 405, {"error": "use POST /generate"}
@@ -293,10 +308,13 @@ class DesignServer:
         return 404, {"error": f"no such endpoint: {path}"}
 
     def _health(self) -> dict:
+        from ..backends import backend_names
+
         cache = self.engine.cache
         return {"ok": True,
                 "jobs": self.jobs.counts(),
                 "workers": self.engine.workers,
+                "backends": list(backend_names()),
                 "cache": (dict(cache.stats.as_dict(),
                                root=str(cache.root))
                           if cache is not None else None)}

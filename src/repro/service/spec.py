@@ -2,10 +2,17 @@
 
 A :class:`DesignRequest` captures everything that determines a generated
 design — kernel, dataflow set, FU array shape, workload bound overrides,
-backend options, and frontend tunables — in a frozen dataclass with a
-deterministic JSON form.  Its SHA-256 content hash is the identity under
-which the cache stores the finished design, so two processes that build
-the same request always agree on the address.
+emitter backend family, backend options, and frontend tunables — in a
+frozen dataclass with a deterministic JSON form.  Its SHA-256 content
+hash is the identity under which the cache stores the finished design,
+so two processes that build the same request always agree on the
+address.
+
+The ``backend`` field participates in the canonical hash, so the same
+design emitted by two families lives at two distinct cache addresses.
+The default family (``verilog``) is *omitted* from the canonical form:
+a verilog request hashes exactly as requests did before backends were
+pluggable, and pre-existing backend-less cache records load as verilog.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import traceback
 from dataclasses import dataclass, field, fields
 
 from ..backend import BackendOptions
+from ..backends import DEFAULT_BACKEND, backend_names, get_backend
 from ..core.frontend import FrontendConfig
 from ..serialize import canonical_dumps
 
@@ -51,6 +59,7 @@ class DesignRequest:
     options: BackendOptions = field(default_factory=BackendOptions)
     frontend: FrontendConfig = field(default_factory=FrontendConfig)
     module: str = "lego_top"
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self):
         object.__setattr__(self, "dataflows", tuple(self.dataflows))
@@ -65,6 +74,12 @@ class DesignRequest:
         if self.kernel not in SUPPORTED_KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}; "
                              f"expected one of {SUPPORTED_KERNELS}")
+        if self.backend not in backend_names():
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"expected one of {backend_names()}")
+        # Families reject options they cannot honour *before* the
+        # request is hashed, queued, or cached.
+        get_backend(self.backend).validate(self.options)
         if self.kernel == "attention":
             # The attention dataflow pair is fixed (QK then PV, §II);
             # normalize so equal designs hash equally whatever the
@@ -87,6 +102,7 @@ class DesignRequest:
             "options": _options_to_dict(self.options),
             "frontend": _frontend_to_dict(self.frontend),
             "module": self.module,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -103,11 +119,22 @@ class DesignRequest:
             options=BackendOptions(**data.get("options", {})),
             frontend=FrontendConfig(**data.get("frontend", {})),
             module=data.get("module", "lego_top"),
+            # Pre-multi-backend records carry no backend key: verilog.
+            backend=data.get("backend", DEFAULT_BACKEND),
         )
 
     def canonical_json(self) -> str:
-        """Deterministic serialization — the hashed identity."""
-        return canonical_dumps(self.to_dict())
+        """Deterministic serialization — the hashed identity.
+
+        The default backend is omitted so verilog requests hash exactly
+        as they did before backends were pluggable (warm caches survive
+        the upgrade); any other family is hashed in, so cache entries
+        never collide across families.
+        """
+        data = self.to_dict()
+        if data["backend"] == DEFAULT_BACKEND:
+            del data["backend"]
+        return canonical_dumps(data)
 
     def spec_hash(self) -> str:
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
@@ -168,7 +195,14 @@ class DesignResult:
     spec_hash: str
     request: DesignRequest
     design: dict | None = None
+    #: text of the *primary* emitted artifact (Verilog for the default
+    #: family, the C translation unit for ``hls_c``); kept under its
+    #: historical name so cache records and API payloads stay stable
     rtl: str = ""
+    #: the full artifact set, ``{filename: text}`` — first entry is the
+    #: primary artifact, extra entries are companions (e.g. the HLS-C
+    #: family's compilable testbench harness)
+    artifacts: dict[str, str] = field(default_factory=dict)
     summary: str = ""
     elapsed_s: float = 0.0
     from_cache: bool = False
@@ -193,6 +227,7 @@ class DesignResult:
             "request": self.request.to_dict(),
             "design": self.design,
             "rtl": self.rtl,
+            "artifacts": self.artifacts,
             "summary": self.summary,
             "elapsed_s": self.elapsed_s,
             "error": self.error,
@@ -202,10 +237,17 @@ class DesignResult:
     @classmethod
     def from_record(cls, spec_hash: str, record: dict,
                     from_cache: bool = True) -> "DesignResult":
+        request = DesignRequest.from_dict(record["request"])
+        artifacts = record.get("artifacts")
+        if artifacts is None:
+            # Pre-multi-backend record: the single Verilog artifact.
+            artifacts = ({f"{request.module}.v": record["rtl"]}
+                         if record.get("rtl") else {})
         return cls(spec_hash=spec_hash,
-                   request=DesignRequest.from_dict(record["request"]),
+                   request=request,
                    design=record["design"],
                    rtl=record["rtl"],
+                   artifacts=artifacts,
                    summary=record["summary"],
                    elapsed_s=record.get("elapsed_s", 0.0),
                    from_cache=from_cache,
@@ -214,13 +256,13 @@ class DesignResult:
 
 
 def execute_request(request: DesignRequest) -> DesignResult:
-    """Run the full frontend→backend flow for one request.
+    """Run the full frontend→backend flow for one request, emitting
+    through the backend family the request names.
 
     Failures are captured, not raised: a batch must survive one bad
     request, and the caller decides what to do with the error string.
     """
     from ..backend import generate, run_backend
-    from ..backend.verilog import emit_verilog
     from ..core.frontend import build_adg
     from ..report import design_summary
     from ..serialize import design_to_dict
@@ -228,15 +270,19 @@ def execute_request(request: DesignRequest) -> DesignResult:
     start = time.perf_counter()
     spec_hash = request.spec_hash()
     try:
+        family = get_backend(request.backend)
         dataflows = request.build_dataflows()
         design = run_backend(generate(build_adg(dataflows,
                                                 request.frontend)),
                              request.options)
+        artifacts = family.emit(design, module_name=request.module)
+        primary = next(iter(artifacts), "")
         return DesignResult(
             spec_hash=spec_hash,
             request=request,
             design=design_to_dict(design),
-            rtl=emit_verilog(design, module_name=request.module),
+            rtl=artifacts.get(primary, ""),
+            artifacts=artifacts,
             summary=design_summary(design),
             elapsed_s=time.perf_counter() - start,
         )
