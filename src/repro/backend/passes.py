@@ -25,12 +25,22 @@ __all__ = ["BackendOptions", "infer_bitwidths", "power_gate", "run_backend"]
 @dataclass(frozen=True)
 class BackendOptions:
     """Which optional §V optimizations to run.  Delay matching itself is
-    mandatory (the design does not meet timing without it, Fig. 10)."""
+    mandatory (the design does not meet timing without it, Fig. 10).
+
+    ``emit_testbench`` is an *emission-phase* knob, not a scheduling
+    one: families with companion self-checking testbench artifacts
+    (``hls_c`` today) skip them when it is False, so bulk sweeps only
+    pay for the kernel.  It does not affect the scheduled design and is
+    excluded from the design-phase cache key; the default (True) is
+    omitted from a request's canonical form so pre-existing cache
+    hashes survive the upgrade.
+    """
 
     reduction_tree: bool = True
     rewiring: bool = True
     pin_reuse: bool = True
     power_gating: bool = True
+    emit_testbench: bool = True
 
     @staticmethod
     def baseline() -> "BackendOptions":

@@ -34,12 +34,13 @@ package is imported.
 
 from __future__ import annotations
 
-from dataclasses import fields
+import inspect
+from dataclasses import dataclass, fields
 from typing import Protocol, runtime_checkable
 
-__all__ = ["BackendFamily", "register_backend", "get_backend",
-           "backend_names", "backends_info", "options_schema",
-           "DEFAULT_BACKEND"]
+__all__ = ["BackendFamily", "EmitContext", "register_backend",
+           "get_backend", "backend_names", "backends_info",
+           "options_schema", "emit_artifacts", "DEFAULT_BACKEND"]
 
 #: The family a request names when it does not say otherwise.  Requests
 #: for this family hash identically to pre-multi-backend requests, so a
@@ -61,6 +62,82 @@ class BackendFamily(Protocol):
 
     def emit(self, design, module_name: str = "lego_top") -> dict[str, str]:
         """Lower *design* to ``{filename: text}``; first key is primary."""
+
+
+@dataclass
+class EmitContext:
+    """What the staged pipeline offers a family at emission time.
+
+    Families that declare a ``context`` keyword on ``emit`` receive one
+    (see :func:`emit_artifacts`); families that don't are called exactly
+    as before, so third-party families keep working unchanged.
+
+    ``request`` carries the emission-phase knobs
+    (``options.emit_testbench``); ``cache`` and the phase keys let a
+    family reuse content-addressed intermediates — most importantly the
+    golden simulation vectors, so emitting the same scheduled design
+    twice (another module name, a second sweep) never re-runs the
+    simulator.
+    """
+
+    cache: object | None = None
+    request: object | None = None
+    design_key: str | None = None
+
+    def want_testbench(self) -> bool:
+        options = getattr(self.request, "options", None)
+        return getattr(options, "emit_testbench", True)
+
+    def golden_vectors(self, design, dataflow: str):
+        """``(input tensors, golden outputs, cycles)`` of *dataflow*
+        under the canonical testbench stimulus, served from the
+        sim-phase cache when possible (and stored there after a cold
+        run)."""
+        import numpy as np
+
+        from ..sim import dag_sim
+
+        key = None
+        if self.cache is not None and self.request is not None:
+            key = self.request.sim_key(dataflow)
+            record = self.cache.get_phase("sim", key)
+            if (isinstance(record, dict)
+                    and record.get("kind") == "phase-sim-v1"):
+                decode = lambda block: {  # noqa: E731 — local shorthand
+                    name: np.array(spec["data"], dtype=np.int64)
+                    .reshape(spec["shape"])
+                    for name, spec in block.items()}
+                return (decode(record["tensors"]),
+                        decode(record["outputs"]),
+                        int(record["cycles"]))
+        tensors, outputs, cycles = dag_sim.golden_vectors(design, dataflow)
+        if key is not None:
+            encode = lambda block: {  # noqa: E731 — local shorthand
+                name: {"shape": list(np.asarray(arr).shape),
+                       "data": [int(v) for v in
+                                np.asarray(arr).reshape(-1)]}
+                for name, arr in block.items()}
+            self.cache.put_phase("sim", key, {
+                "kind": "phase-sim-v1",
+                "tensors": encode(tensors),
+                "outputs": encode(outputs),
+                "cycles": cycles})
+        return tensors, outputs, cycles
+
+
+def emit_artifacts(family: BackendFamily, design,
+                   module_name: str = "lego_top",
+                   context: EmitContext | None = None) -> dict[str, str]:
+    """Emit through *family*, passing the staged-pipeline *context* to
+    families that accept it (those declaring a ``context`` keyword)."""
+    try:
+        accepts = "context" in inspect.signature(family.emit).parameters
+    except (TypeError, ValueError):  # pragma: no cover — C callables
+        accepts = False
+    if accepts:
+        return family.emit(design, module_name=module_name,
+                           context=context)
+    return family.emit(design, module_name=module_name)
 
 
 _REGISTRY: dict[str, BackendFamily] = {}

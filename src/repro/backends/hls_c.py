@@ -102,7 +102,9 @@ class _DataflowLowering:
         from ..sim.dag_sim import Simulator
 
         self.design = design
-        self.sim = Simulator(design, name)
+        # reference=True: only the graph preparation is used here, so
+        # skip compiling a vectorized step program that never runs.
+        self.sim = Simulator(design, name, reference=True)
         self.cfg = self.sim.cfg
         self.name = name
         self.p = f"df{ordinal}"
@@ -495,7 +497,8 @@ def emit_hls_c(design: Design, module_name: str = "lego_top") -> str:
 
 def emit_hls_testbench(design: Design, dataflow: str,
                        tensors: dict | None = None,
-                       module_name: str = "lego_top") -> str:
+                       module_name: str = "lego_top",
+                       golden: tuple | None = None) -> str:
     """Emit a self-checking C ``main`` for one dataflow.
 
     Exactly like the Verilog testbench, stimulus and golden outputs come
@@ -503,17 +506,19 @@ def emit_hls_testbench(design: Design, dataflow: str,
     with the :func:`emit_hls_c` output and a zero exit status (plus
     ``TESTBENCH PASSED`` on stdout) proves the lowered C reproduces the
     verified Python execution bit for bit.
-    """
-    from ..sim.dag_sim import Simulator, make_input
 
-    rng = np.random.default_rng(0)
-    cfg = design.configs[dataflow]
-    dag = design.dag
-    input_tensors = sorted({
-        dag.nodes[n].params["tensor"] for n in cfg.read_enable})
-    tensors = tensors or {t: make_input(design, dataflow, t, rng, 0, 8)
-                          for t in input_tensors}
-    result = Simulator(design, dataflow).run(tensors)
+    *golden* is an optional precomputed ``(tensors, outputs, cycles)``
+    triple (the sim-phase cache record, see
+    :meth:`repro.backends.EmitContext.golden_vectors`); when present the
+    simulator is not run at all.
+    """
+    if golden is not None:
+        tensors, outputs, _cycles = golden
+    else:
+        from ..sim.dag_sim import Simulator, canonical_stimulus
+
+        tensors = tensors or canonical_stimulus(design, dataflow)
+        outputs = Simulator(design, dataflow).run(tensors).outputs
     ordinal = sorted(design.configs).index(dataflow)
     direction = _tensor_directions(design)
 
@@ -533,7 +538,7 @@ def emit_hls_testbench(design: Design, dataflow: str,
         out(f"static const lego_val_t in_{tensor}[{flat.size}] = {{")
         out(f"  {_literal_rows(flat)}")
         out("};")
-    for tensor, arr in sorted(result.outputs.items()):
+    for tensor, arr in sorted(outputs.items()):
         flat = np.asarray(arr).reshape(-1)
         out(f"static lego_val_t out_{tensor}[{flat.size}]; "
             "/* zero-initialized commit buffer */")
@@ -545,7 +550,7 @@ def emit_hls_testbench(design: Design, dataflow: str,
     out("{")
     args = ["0"] * len(direction)
     for i, tensor in enumerate(direction):
-        if tensor in result.outputs:
+        if tensor in outputs:
             args[i] = f"out_{tensor}"
         elif tensor in tensors:
             args[i] = f"in_{tensor}"
@@ -553,7 +558,7 @@ def emit_hls_testbench(design: Design, dataflow: str,
     out('  if (cycles < 0) { printf("TESTBENCH FAILED: bad '
         'cfg_dataflow\\n"); return 2; }')
     out("  long errors = 0;")
-    for tensor, arr in sorted(result.outputs.items()):
+    for tensor, arr in sorted(outputs.items()):
         size = int(np.asarray(arr).size)
         out(f"  for (long i = 0; i < {size}; ++i)")
         out(f"    if (out_{tensor}[i] != gold_{tensor}[i]) {{")
@@ -588,8 +593,19 @@ class HlsCFamily:
             raise ValueError(f"hls_c backend expects BackendOptions, "
                              f"got {type(options).__name__}")
 
-    def emit(self, design, module_name: str = "lego_top") -> dict[str, str]:
+    def emit(self, design, module_name: str = "lego_top",
+             context=None) -> dict[str, str]:
+        """Kernel translation unit plus (unless the request opted out
+        via ``BackendOptions.emit_testbench=False``) the self-checking
+        testbench.  With a staged-pipeline *context*, the testbench's
+        golden vectors come from the sim-phase cache instead of a fresh
+        simulator run."""
         source = emit_hls_c(design, module_name=module_name)
-        first = sorted(design.configs)[0]
-        bench = emit_hls_testbench(design, first, module_name=module_name)
-        return {f"{module_name}.c": source, f"{module_name}_tb.c": bench}
+        artifacts = {f"{module_name}.c": source}
+        if context is None or context.want_testbench():
+            first = sorted(design.configs)[0]
+            golden = (context.golden_vectors(design, first)
+                      if context is not None else None)
+            artifacts[f"{module_name}_tb.c"] = emit_hls_testbench(
+                design, first, module_name=module_name, golden=golden)
+        return artifacts

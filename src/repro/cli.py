@@ -45,11 +45,15 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _request_from_args(args: argparse.Namespace, dataflows=None):
+    import dataclasses
+
     from .backend import BackendOptions
     from .service.spec import DesignRequest
 
     options = (BackendOptions.baseline() if args.no_optimize
                else BackendOptions())
+    if getattr(args, "no_testbench", False):
+        options = dataclasses.replace(options, emit_testbench=False)
     return DesignRequest(
         kernel=args.kernel,
         dataflows=tuple(dataflows if dataflows is not None
@@ -251,8 +255,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         record = cache.peek(key)
         if record is None:
             continue
-        if record.get("kind") == "eval-v1":
+        kind = record.get("kind", "")
+        if kind == "eval-v1":
             print(f"{key[:16]}  eval    cycles={record['cycles']:.3g}")
+        elif kind.startswith("phase-"):
+            # staged-pipeline intermediate (scheduled design / golden
+            # simulation vectors)
+            phase = kind[len("phase-"):].rsplit("-v", 1)[0]
+            print(f"{key[:16]}  phase   {phase}")
         else:
             req = record.get("request", {})
             print(f"{key[:16]}  design  {req.get('kernel', '?')}-"
@@ -340,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--backend", default="verilog",
                      choices=backend_names(),
                      help="emitter backend family (see `repro backends`)")
+    gen.add_argument("--no-testbench", action="store_true",
+                     help="skip companion self-checking testbench "
+                     "artifacts (hls_c): emit only the kernel")
     gen.add_argument("--output", "-o", help="write the primary emitted "
                      "artifact here (companion artifacts land beside it)")
     gen.add_argument("--module", default="lego_top")
@@ -365,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=backend_names(),
                      help="emitter backend family for flag-built "
                      "requests (see `repro backends`)")
+    bat.add_argument("--no-testbench", action="store_true",
+                     help="skip companion self-checking testbench "
+                     "artifacts for flag-built requests (bulk sweeps "
+                     "only pay for the kernel)")
     bat.add_argument("--workers", type=int, default=1,
                      help="worker processes for cold requests")
     bat.add_argument("--output-dir",

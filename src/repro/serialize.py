@@ -19,7 +19,7 @@ from .backend.dag import DAG, Edge
 from .backend.primitives import Primitive
 
 __all__ = ["dump_design", "load_design_graph", "design_to_dict",
-           "canonical_dumps"]
+           "design_from_dict", "canonical_dumps"]
 
 
 def canonical_dumps(obj) -> str:
@@ -72,6 +72,14 @@ def design_to_dict(design: Design) -> dict:
             "write_enable": sorted(cfg.write_enable),
             "read_enable": sorted(cfg.read_enable),
             "total_timestamps": cfg.total_timestamps,
+            # the dataflow's temporal basis plus the liveness/offset
+            # tables: everything design_from_dict needs to rebuild a
+            # simulatable, emittable configuration without live
+            # Dataflow objects
+            "rt": [int(r) for r in cfg.dataflow.rt],
+            "ctrl_offset": {str(k): v for k, v in cfg.ctrl_offset.items()},
+            "active_nodes": sorted(cfg.active_nodes),
+            "active_edges": sorted(cfg.active_edges),
             "addrgen": {str(k): {
                 "rt": list(a.rt),
                 "mdt": [list(r) for r in a.mdt],
@@ -82,11 +90,19 @@ def design_to_dict(design: Design) -> dict:
         }
 
     adg = design.adg
-    return {
-        "format": "lego-design-v1",
-        "fu_shape": list(adg.fu_shape),
-        "dataflows": [df.name for df in adg.dataflows],
-        "adg": {
+    if adg is None:
+        # A design reloaded by design_from_dict: the front-end graph is
+        # code and is not reconstructed, but its serialized form rides
+        # along so re-serialization round-trips byte-identically.
+        meta = getattr(design, "_adg_dict", None) or {
+            "fu_shape": [], "dataflows": sorted(design.configs), "adg": {}}
+        fu_shape = list(meta["fu_shape"])
+        dataflow_names = list(meta["dataflows"])
+        adg_section = meta["adg"]
+    else:
+        fu_shape = list(adg.fu_shape)
+        dataflow_names = [df.name for df in adg.dataflows]
+        adg_section = {
             "connections": [{
                 "tensor": c.tensor, "src": list(c.src), "dst": list(c.dst),
                 "depth": c.depth, "kind": c.kind,
@@ -102,7 +118,12 @@ def design_to_dict(design: Design) -> dict:
                            "bank_stride": list(m.bank_stride),
                            "n_data_nodes": m.n_data_nodes}
                        for t, m in adg.memory.items()},
-        },
+        }
+    return {
+        "format": "lego-design-v1",
+        "fu_shape": fu_shape,
+        "dataflows": dataflow_names,
+        "adg": adg_section,
         "dag": {"nodes": nodes, "edges": edges},
         "configs": configs,
         "report": _jsonable({k: v for k, v in design.report.items()
@@ -115,18 +136,8 @@ def dump_design(design: Design, path: str) -> None:
         json.dump(design_to_dict(design), fh, indent=1)
 
 
-def load_design_graph(path: str) -> tuple[DAG, dict[str, dict]]:
-    """Reload the DAG and raw per-dataflow configuration dictionaries.
-
-    The graph is fully reconstructed (usable for reports, Verilog
-    emission, and resource accounting); configurations are returned as
-    dictionaries because :class:`DataflowConfig` references live
-    Dataflow objects, which are code.
-    """
-    with open(path) as fh:
-        data = json.load(fh)
-    if data.get("format") != "lego-design-v1":
-        raise ValueError("not a LEGO design file")
+def _dag_from_dict(data: dict) -> DAG:
+    """Rebuild the primitive DAG of a serialized design."""
     dag = DAG()
     for spec in data["dag"]["nodes"]:
         node = Primitive(spec["id"], spec["kind"], width=spec["width"],
@@ -140,4 +151,122 @@ def load_design_graph(path: str) -> tuple[DAG, dict[str, dict]]:
                     spec["el"], uid=spec["uid"])
         dag.edges.append(edge)
         dag._next_edge_uid = max(dag._next_edge_uid, edge.uid + 1)
-    return dag, data["configs"]
+    return dag
+
+
+def load_design_graph(path: str) -> tuple[DAG, dict[str, dict]]:
+    """Reload the DAG and raw per-dataflow configuration dictionaries.
+
+    The graph is fully reconstructed (usable for reports, Verilog
+    emission, and resource accounting); configurations are returned as
+    dictionaries.  :func:`design_from_dict` goes further and rebuilds a
+    simulatable :class:`Design`.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != "lego-design-v1":
+        raise ValueError("not a LEGO design file")
+    return _dag_from_dict(data), data["configs"]
+
+
+class _LoadedDataflow:
+    """Stand-in for the live :class:`~repro.core.dataflow.Dataflow` of a
+    reloaded design: carries exactly what the simulator and the emitter
+    families read (name, temporal basis, timestamp count)."""
+
+    __slots__ = ("name", "rt", "total_timestamps")
+
+    def __init__(self, name: str, rt, total_timestamps: int):
+        self.name = name
+        self.rt = tuple(int(r) for r in rt)
+        self.total_timestamps = int(total_timestamps)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"_LoadedDataflow({self.name!r}, rt={self.rt}, "
+                f"total_timestamps={self.total_timestamps})")
+
+
+def _restore_params(params: dict) -> dict:
+    """Undo the JSON coercions of :func:`_jsonable` for the parameter
+    keys the simulator and emitters consume structurally."""
+    out = dict(params)
+    pdf = out.get("pin_dataflows")
+    if isinstance(pdf, dict):
+        out["pin_dataflows"] = {int(k): set(v) for k, v in pdf.items()}
+    return out
+
+
+def design_from_dict(data: dict) -> Design:
+    """Rebuild a simulatable, emittable :class:`Design` from its
+    :func:`design_to_dict` form.
+
+    The reloaded design carries the DAG, every per-dataflow runtime
+    configuration (with liveness sets and control offsets), and the pass
+    report — everything the cycle-accurate simulator and the emitter
+    backends consume.  It does *not* carry the front-end ADG (whose
+    dataflow/workload objects are code, not data): ``design.adg`` is
+    ``None``, so ADG-level reports must come from the original record.
+    This is the content-addressed intermediate the staged cold path
+    caches between the scheduling and emission phases.
+    """
+    if data.get("format") != "lego-design-v1":
+        raise ValueError("not a LEGO design dictionary")
+    dag = _dag_from_dict(data)
+    for node in dag.nodes.values():
+        node.params = _restore_params(node.params)
+
+    configs: dict[str, DataflowConfig] = {}
+    missing_liveness = False
+    for name, raw in data["configs"].items():
+        rt = raw.get("rt")
+        if rt is None:
+            # Pre-staged-pipeline record: recover the temporal basis
+            # from any address generator (they all share it).
+            for ag in raw["addrgen"].values():
+                rt = ag["rt"]
+                break
+            else:
+                rt = [int(raw["total_timestamps"])]
+        addrgen = {
+            int(k): AddrGenConfig(
+                rt=tuple(int(r) for r in a["rt"]),
+                mdt=tuple(tuple(int(x) for x in row) for row in a["mdt"]),
+                offset=tuple(int(x) for x in a["offset"]),
+                dims=tuple(int(x) for x in a["dims"]),
+                gate_dt=(tuple(int(x) for x in a["gate_dt"])
+                         if a.get("gate_dt") else None))
+            for k, a in raw["addrgen"].items()}
+        cfg = DataflowConfig(
+            dataflow=_LoadedDataflow(name, rt, raw["total_timestamps"]),
+            mux_select={int(k): int(v)
+                        for k, v in raw["mux_select"].items()},
+            mux_policy={int(k): [(int(p), tuple(int(x) for x in dt)
+                                  if dt else None) for p, dt in policy]
+                        for k, policy in raw["mux_policy"].items()},
+            fifo_depth={int(k): int(v)
+                        for k, v in raw["fifo_depth"].items()},
+            fifo_phys={int(k): int(v)
+                       for k, v in raw.get("fifo_phys", {}).items()},
+            addrgen=addrgen,
+            write_enable=set(raw["write_enable"]),
+            read_enable=set(raw["read_enable"]),
+            active_nodes=set(raw.get("active_nodes", ())),
+            active_edges=set(raw.get("active_edges", ())),
+            ctrl_offset={int(k): int(v)
+                         for k, v in raw.get("ctrl_offset", {}).items()},
+        )
+        if "active_nodes" not in raw:
+            missing_liveness = True
+        configs[name] = cfg
+
+    design = Design(adg=None, dag=dag, configs=configs,
+                    report=data.get("report", {}))
+    design._adg_dict = {"fu_shape": data.get("fu_shape", []),
+                        "dataflows": data.get("dataflows",
+                                              sorted(configs)),
+                        "adg": data.get("adg", {})}
+    if missing_liveness:
+        from .backend.codegen import compute_liveness
+
+        compute_liveness(design)
+    return design

@@ -41,7 +41,14 @@ def get_engine(cache_dir: str | pathlib.Path | None = None,
 
 
 def submit(request: DesignRequest, **engine_kwargs) -> DesignResult:
-    """Generate (or fetch) a single design."""
+    """Generate (or fetch) a single design.
+
+    Cold requests run the *staged* pipeline against the shared cache:
+    a request differing from earlier traffic only in ``backend`` or
+    ``module`` reuses the cached scheduled design (and, for testbench
+    emission, the golden simulation vectors) instead of recompiling —
+    see ``DesignRequest.design_key``/``sim_key`` and the
+    ``phase_hits`` counter in :func:`cache_stats`."""
     return get_engine(**engine_kwargs).submit(request)
 
 

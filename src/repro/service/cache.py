@@ -14,11 +14,23 @@ lock, so the asyncio server's executor threads can share one cache; and
 the disk eviction scan takes a cross-process advisory file lock
 (``.evict.lock``) so concurrent writers don't both act on the same
 stale directory snapshot and evict twice the excess.
+
+Besides finished designs, the cache stores **keyed intermediates** of
+the staged cold path (:meth:`DesignCache.get_phase` /
+:meth:`DesignCache.put_phase`): scheduled-design and golden-vector
+records addressed by ``(phase, phase key)``, namespaced into the same
+content-addressed store so eviction, sharding, and corruption recovery
+apply uniformly.  A small **live tier**
+(:meth:`~DesignCache.get_live`/:meth:`~DesignCache.put_live`) keeps
+unserializable in-process objects (front-end ADGs, reloaded designs)
+for the duration of a burst — it never touches disk and dies with the
+process.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import pathlib
@@ -56,6 +68,11 @@ class CacheStats:
     evictions: int = 0
     corrupt: int = 0
     memory_hits: int = 0
+    #: intermediate-tier lookups (subset of hits/misses above)
+    phase_hits: int = 0
+    phase_misses: int = 0
+    #: in-process live-object tier (ADGs, reloaded designs)
+    live_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -66,6 +83,9 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "puts": self.puts, "evictions": self.evictions,
                 "corrupt": self.corrupt, "memory_hits": self.memory_hits,
+                "phase_hits": self.phase_hits,
+                "phase_misses": self.phase_misses,
+                "live_hits": self.live_hits,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -76,11 +96,16 @@ class DesignCache:
     root: pathlib.Path = field(default_factory=default_cache_dir)
     memory_entries: int = 128
     disk_entries: int = 4096
+    #: bound of the in-process live-object tier (ADGs, reloaded
+    #: designs); these can be large, so the default is deliberately
+    #: smaller than the record LRU
+    live_entries: int = 16
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self):
         self.root = pathlib.Path(self.root)
         self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._live: OrderedDict[str, object] = OrderedDict()
         # Guards the memory LRU and the stats counters: without it, two
         # server threads can race a membership check against an
         # eviction and crash on move_to_end(missing key).
@@ -209,8 +234,61 @@ class DesignCache:
                 pass
         with self._lock:
             self._memory.clear()
+            self._live.clear()
             self._disk_count = 0
         return n
+
+    # -- intermediate (phase) tier -----------------------------------------
+    #
+    # The staged cold path splits execute_request into hashed phases
+    # (dataflows -> ADG -> scheduled design -> golden vectors ->
+    # artifacts); each serializable intermediate lives in the same
+    # content-addressed store under a phase-namespaced address, so a
+    # request differing only in its emission phase (another backend, a
+    # lazy testbench, a module rename) reuses the scheduled design and
+    # simulation vectors instead of recompiling from scratch.
+
+    @staticmethod
+    def phase_address(phase: str, key: str) -> str:
+        """Storage address of one ``(phase, phase key)`` intermediate —
+        namespaced so it can never collide with a request's spec hash."""
+        return hashlib.sha256(f"phase/{phase}/{key}".encode()).hexdigest()
+
+    def get_phase(self, phase: str, key: str) -> dict | None:
+        """The cached intermediate of *phase* under *key*, or None."""
+        record = self.get(self.phase_address(phase, key))
+        with self._lock:
+            if record is not None:
+                self.stats.phase_hits += 1
+            else:
+                self.stats.phase_misses += 1
+        return record
+
+    def put_phase(self, phase: str, key: str, record: dict) -> None:
+        """Store one phase intermediate (atomic, evictable, shared
+        across processes like any other record)."""
+        self.put(self.phase_address(phase, key), record)
+
+    # -- live tier ---------------------------------------------------------
+
+    def get_live(self, phase: str, key: str):
+        """In-process object cached under ``(phase, key)``, or None.
+        Never touches disk; safe for unserializable intermediates."""
+        address = self.phase_address(phase, key)
+        with self._lock:
+            obj = self._live.get(address)
+            if obj is not None:
+                self._live.move_to_end(address)
+                self.stats.live_hits += 1
+            return obj
+
+    def put_live(self, phase: str, key: str, obj) -> None:
+        address = self.phase_address(phase, key)
+        with self._lock:
+            self._live[address] = obj
+            self._live.move_to_end(address)
+            while len(self._live) > self.live_entries:
+                self._live.popitem(last=False)
 
     # -- eviction ----------------------------------------------------------
 

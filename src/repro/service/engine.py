@@ -45,11 +45,34 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+# The staged pipeline's intermediate cache, rebuilt once per worker
+# process from a picklable spec (a live DesignCache holds locks and
+# cannot cross a spawn boundary).  The on-disk tier is multi-process
+# safe, so every worker shares the same phase records.
+_WORKER_CACHE: DesignCache | None = None
+
+
+def _init_request_worker(cache_spec: dict | None) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = (DesignCache(**cache_spec)
+                     if cache_spec is not None else None)
+
+
+def _cache_spec(cache: DesignCache | None) -> dict | None:
+    """Picklable recipe for rebuilding an equivalent cache in a worker."""
+    if cache is None:
+        return None
+    return {"root": str(cache.root),
+            "memory_entries": cache.memory_entries,
+            "disk_entries": cache.disk_entries}
+
+
 def _run_request_payload(payload: dict) -> tuple[str, dict]:
-    """Worker entry point: rebuild the request, run it, return the cache
-    record.  Top-level so it pickles under both fork and spawn."""
+    """Worker entry point: rebuild the request, run it through the
+    staged pipeline, return the cache record.  Top-level so it pickles
+    under both fork and spawn."""
     request = DesignRequest.from_dict(payload)
-    result = execute_request(request)
+    result = execute_request(request, cache=_WORKER_CACHE)
     return result.spec_hash, result.to_record()
 
 
@@ -145,11 +168,17 @@ class BatchEngine:
                  workers: int) -> Iterable[tuple[str, dict]]:
         payloads = [r.to_dict() for r in cold]
         if workers <= 1 or len(cold) <= 1:
+            # In-process: the staged pipeline shares this engine's cache
+            # directly (live tier included).
             for payload in payloads:
-                yield _run_request_payload(payload)
+                request = DesignRequest.from_dict(payload)
+                result = execute_request(request, cache=self.cache)
+                yield result.spec_hash, result.to_record()
             return
         ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(cold))) as pool:
+        with ctx.Pool(processes=min(workers, len(cold)),
+                      initializer=_init_request_worker,
+                      initargs=(_cache_spec(self.cache),)) as pool:
             yield from pool.imap(_run_request_payload, payloads,
                                  chunksize=1)
 

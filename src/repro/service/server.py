@@ -6,7 +6,10 @@ reader/writer — no web framework): connections are multiplexed on the
 event loop, blocking work (generation, DSE steps) runs on executor
 threads against the shared :class:`~repro.service.engine.BatchEngine`,
 and long-running work lives in a :class:`~repro.service.jobs.JobRegistry`
-polled across requests.
+polled across requests.  Job bodies run on a **dedicated bounded
+executor** (sized with ``max_jobs``, capped at 32 threads) while
+synchronous ``/generate`` work keeps asyncio's default executor, so a
+registry full of long-lived jobs cannot starve interactive requests.
 
 Endpoints (see ``docs/serving.md`` for the full reference):
 
@@ -45,6 +48,7 @@ import json
 import signal
 import threading
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 
 from ..dse.checkpoint import run_checkpointed, space_from_dict
 from .engine import BatchEngine
@@ -149,6 +153,14 @@ class DesignServer:
         #: full-model-equivalents (smaller = finer pause granularity)
         self.step_evals = step_evals
         self.jobs = JobRegistry(max_jobs=max_jobs)
+        # Long-lived /batch and /explore job bodies get their own
+        # bounded pool, sized consistently with the job registry: the
+        # asyncio *default* executor (~32 threads) stays reserved for
+        # synchronous /generate work, so a registry full of long jobs
+        # can no longer starve interactive requests.
+        self._job_executor = ThreadPoolExecutor(
+            max_workers=max(1, min(max_jobs, 32)),
+            thread_name_prefix="repro-job")
         self._server: asyncio.AbstractServer | None = None
         self._closing = threading.Event()
         self._tasks: set = set()
@@ -169,6 +181,9 @@ class DesignServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Queued-but-unstarted job bodies are dropped; running ones see
+        # _closing at their next checkpoint and park themselves.
+        self._job_executor.shutdown(wait=False, cancel_futures=True)
         # Nudge idle keep-alive connections so their handler coroutines
         # finish cleanly instead of being cancelled at loop teardown.
         for writer in list(self._writers):
@@ -465,7 +480,7 @@ class DesignServer:
 
     def _submit(self, fn, *args) -> None:
         loop = asyncio.get_running_loop()
-        task = loop.run_in_executor(None, fn, *args)
+        task = loop.run_in_executor(self._job_executor, fn, *args)
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
@@ -657,9 +672,10 @@ class ServerThread:
 
     def __init__(self, engine: BatchEngine | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 step_evals: float = 1.0):
+                 step_evals: float = 1.0, max_jobs: int = 1024):
         self.server = DesignServer(engine=engine, host=host, port=port,
-                                   step_evals=step_evals)
+                                   step_evals=step_evals,
+                                   max_jobs=max_jobs)
         self._ready = threading.Event()
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None

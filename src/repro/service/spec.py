@@ -13,6 +13,21 @@ design emitted by two families lives at two distinct cache addresses.
 The default family (``verilog``) is *omitted* from the canonical form:
 a verilog request hashes exactly as requests did before backends were
 pluggable, and pre-existing backend-less cache records load as verilog.
+
+Besides the full spec hash, a request exposes **phase keys** for the
+staged cold path (:func:`execute_request` with a cache):
+
+``adg_key``
+    identity of the front-end phase (dataflows → ADG) — everything
+    except the backend passes and the emission knobs;
+``design_key``
+    identity of the scheduled design (ADG → §V passes) — the full
+    request minus ``backend``/``module``/emission-only options, so two
+    requests that differ only in emitter family or module name share
+    one cached scheduled design;
+``sim_key``
+    identity of one dataflow's golden simulation vectors under the
+    canonical testbench stimulus.
 """
 
 from __future__ import annotations
@@ -129,15 +144,57 @@ class DesignRequest:
         The default backend is omitted so verilog requests hash exactly
         as they did before backends were pluggable (warm caches survive
         the upgrade); any other family is hashed in, so cache entries
-        never collide across families.
+        never collide across families.  Default-valued emission-only
+        options added since (``emit_testbench``) are likewise omitted,
+        keeping every pre-existing hash stable.
         """
         data = self.to_dict()
         if data["backend"] == DEFAULT_BACKEND:
             del data["backend"]
+        if data["options"].get("emit_testbench", True):
+            del data["options"]["emit_testbench"]
         return canonical_dumps(data)
 
     def spec_hash(self) -> str:
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- phase keys (the staged cold path's intermediate addresses) --------
+
+    def _phase_json(self, phase: str, with_options: bool) -> str:
+        data = self.to_dict()
+        del data["backend"]   # emission decisions only
+        del data["module"]
+        if with_options:
+            data["options"].pop("emit_testbench", None)
+        else:
+            del data["options"]  # backend passes happen after the ADG
+        data["phase"] = phase
+        return canonical_dumps(data)
+
+    def adg_key(self) -> str:
+        """Identity of the front-end phase (dataflows → ADG)."""
+        return hashlib.sha256(
+            self._phase_json("adg", with_options=False).encode()).hexdigest()
+
+    def design_key(self) -> str:
+        """Identity of the scheduled design (ADG → §V passes): shared
+        by every request that differs only in emitter family, module
+        name, or emission-only options."""
+        return hashlib.sha256(
+            self._phase_json("design",
+                             with_options=True).encode()).hexdigest()
+
+    def sim_key(self, dataflow: str) -> str:
+        """Identity of one dataflow's golden simulation vectors (the
+        canonical testbench stimulus tag is part of the address, so a
+        stimulus change can never be served stale vectors)."""
+        from ..sim.dag_sim import CANONICAL_STIMULUS
+
+        payload = {"phase": "sim", "design": self.design_key(),
+                   "dataflow": dataflow,
+                   "stimulus": CANONICAL_STIMULUS}
+        return hashlib.sha256(
+            canonical_dumps(payload).encode()).hexdigest()
 
     # -- workload construction --------------------------------------------
 
@@ -205,6 +262,11 @@ class DesignResult:
     artifacts: dict[str, str] = field(default_factory=dict)
     summary: str = ""
     elapsed_s: float = 0.0
+    #: wall-clock seconds per staged phase of the *original* cold run
+    #: (``adg``, ``schedule``, ``emit``, plus ``design_load`` when the
+    #: scheduled design came from the intermediate cache) — empty for
+    #: records written before the pipeline was staged
+    phases: dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
     error: str | None = None
     #: full formatted traceback of the original failure (``error`` is
@@ -230,6 +292,7 @@ class DesignResult:
             "artifacts": self.artifacts,
             "summary": self.summary,
             "elapsed_s": self.elapsed_s,
+            "phases": self.phases,
             "error": self.error,
             "traceback": self.traceback,
         }
@@ -250,47 +313,112 @@ class DesignResult:
                    artifacts=artifacts,
                    summary=record["summary"],
                    elapsed_s=record.get("elapsed_s", 0.0),
+                   phases=record.get("phases", {}),
                    from_cache=from_cache,
                    error=record.get("error"),
                    traceback=record.get("traceback"))
 
 
-def execute_request(request: DesignRequest) -> DesignResult:
-    """Run the full frontend→backend flow for one request, emitting
-    through the backend family the request names.
+def _scheduled_design(request: DesignRequest, cache,
+                      phases: dict[str, float]):
+    """Phases 1+2 of the staged cold path: ``(design, design_dict,
+    summary)`` for *request*, reusing the intermediate cache.
 
-    Failures are captured, not raised: a batch must survive one bad
-    request, and the caller decides what to do with the error string.
+    Lookup order: the in-process live tier (the design object itself),
+    then the on-disk phase record (reloaded via ``design_from_dict``),
+    then a cold build — front-end ADG (itself live-cached, so requests
+    differing only in backend-pass options share it) followed by the
+    §V pass pipeline.  Cold results are stored back in both tiers.
     """
     from ..backend import generate, run_backend
     from ..core.frontend import build_adg
     from ..report import design_summary
-    from ..serialize import design_to_dict
+    from ..serialize import design_from_dict, design_to_dict
+
+    design_key = request.design_key()
+    if cache is not None:
+        live = cache.get_live("design", design_key)
+        if live is not None:
+            return live
+        record = cache.get_phase("design", design_key)
+        if (isinstance(record, dict)
+                and record.get("kind") == "phase-design-v1"):
+            t0 = time.perf_counter()
+            design = design_from_dict(record["design"])
+            phases["design_load"] = time.perf_counter() - t0
+            loaded = (design, record["design"], record["summary"])
+            cache.put_live("design", design_key, loaded)
+            return loaded
+
+    adg_key = request.adg_key()
+    adg = cache.get_live("adg", adg_key) if cache is not None else None
+    if adg is None:
+        t0 = time.perf_counter()
+        adg = build_adg(request.build_dataflows(), request.frontend)
+        phases["adg"] = time.perf_counter() - t0
+        if cache is not None:
+            cache.put_live("adg", adg_key, adg)
+    t0 = time.perf_counter()
+    design = run_backend(generate(adg), request.options)
+    phases["schedule"] = time.perf_counter() - t0
+    design_dict = design_to_dict(design)
+    summary = design_summary(design)
+    built = (design, design_dict, summary)
+    if cache is not None:
+        cache.put_phase("design", design_key,
+                        {"kind": "phase-design-v1",
+                         "design": design_dict, "summary": summary})
+        cache.put_live("design", design_key, built)
+    return built
+
+
+def execute_request(request: DesignRequest,
+                    cache=None) -> DesignResult:
+    """Run the staged frontend→backend flow for one request, emitting
+    through the backend family the request names.
+
+    With a :class:`~repro.service.cache.DesignCache`, the hashed phases
+    (dataflows→ADG, ADG→scheduled design, design→golden vectors,
+    design→artifacts) are reused from the intermediate tier, so a
+    request that differs from a previous one only in ``backend`` or
+    ``module`` pays for emission alone.
+
+    Failures are captured, not raised: a batch must survive one bad
+    request, and the caller decides what to do with the error string.
+    """
+    from ..backends import EmitContext, emit_artifacts
 
     start = time.perf_counter()
     spec_hash = request.spec_hash()
+    phases: dict[str, float] = {}
     try:
         family = get_backend(request.backend)
-        dataflows = request.build_dataflows()
-        design = run_backend(generate(build_adg(dataflows,
-                                                request.frontend)),
-                             request.options)
-        artifacts = family.emit(design, module_name=request.module)
+        design, design_dict, summary = _scheduled_design(request, cache,
+                                                         phases)
+        t0 = time.perf_counter()
+        context = EmitContext(cache=cache, request=request,
+                              design_key=request.design_key())
+        artifacts = emit_artifacts(family, design,
+                                   module_name=request.module,
+                                   context=context)
+        phases["emit"] = time.perf_counter() - t0
         primary = next(iter(artifacts), "")
         return DesignResult(
             spec_hash=spec_hash,
             request=request,
-            design=design_to_dict(design),
+            design=design_dict,
             rtl=artifacts.get(primary, ""),
             artifacts=artifacts,
-            summary=design_summary(design),
+            summary=summary,
             elapsed_s=time.perf_counter() - start,
+            phases=phases,
         )
     except Exception as exc:  # noqa: BLE001 — per-request capture is the point
         return DesignResult(
             spec_hash=spec_hash,
             request=request,
             elapsed_s=time.perf_counter() - start,
+            phases=phases,
             error="".join(traceback.format_exception_only(type(exc),
                                                           exc)).strip(),
             traceback="".join(traceback.format_exception(

@@ -8,6 +8,21 @@ per-dataflow programmed FIFO depths.  A generated GEMM/Conv/MTTKRP design
 must produce bit-exact results against the numpy reference — this closes
 the loop over the *entire* flow: interconnect solving, MST planning,
 memory banking, codegen, and every backend pass.
+
+Two execution engines share one graph preparation:
+
+* the **vectorized step program** (:mod:`.step_program`, the default):
+  the schedule is compiled once at construction into batched numpy
+  column operations over value/valid matrices — an order of magnitude
+  faster on cold simulations;
+* the **reference interpreter** (``Simulator(..., reference=True)``):
+  the original per-cycle Python loop, kept as the oracle the vectorized
+  engine is property-tested bit-exact against (outputs, cycle count,
+  toggle counts, memory access counters).
+
+Designs the vectorized engine cannot reproduce exactly (a tensor both
+read and written under one configuration, non-accumulating commits)
+fall back to the interpreter automatically.
 """
 
 from __future__ import annotations
@@ -18,7 +33,14 @@ import numpy as np
 
 from ..backend.codegen import Design, DataflowConfig
 
-__all__ = ["Simulator", "simulate_workload", "make_input"]
+__all__ = ["Simulator", "simulate_workload", "make_input",
+           "canonical_stimulus", "golden_vectors", "CANONICAL_STIMULUS"]
+
+#: tag of the canonical testbench stimulus produced by
+#: :func:`canonical_stimulus`; hashed into ``DesignRequest.sim_key`` so
+#: cached golden vectors can never be served for a different stimulus.
+#: CHANGING :func:`canonical_stimulus` REQUIRES CHANGING THIS TAG.
+CANONICAL_STIMULUS = "default_rng(0):lo0:hi8"
 
 
 @dataclass
@@ -33,13 +55,22 @@ class SimResult:
 
 
 class Simulator:
-    """Executes one dataflow configuration of a design cycle by cycle."""
+    """Executes one dataflow configuration of a design cycle by cycle.
 
-    def __init__(self, design: Design, dataflow: str):
+    ``reference=True`` forces the per-cycle Python interpreter (the
+    oracle); the default compiles the schedule into a vectorized
+    :class:`~repro.sim.step_program.StepProgram` at construction and
+    falls back to the interpreter only for designs the vectorization
+    cannot honour bit-exactly.
+    """
+
+    def __init__(self, design: Design, dataflow: str,
+                 reference: bool = False):
         self.design = design
         self.dag = design.dag
         self.cfg: DataflowConfig = design.configs[dataflow]
         self.dataflow = dataflow
+        self.reference = reference
         self.rt = self.cfg.dataflow.rt
 
         cfg = self.cfg
@@ -62,6 +93,16 @@ class Simulator:
 
         # Total pipeline depth bound for the run length.
         self.pipeline_bound = self._longest_path()
+
+        # Precompile the vectorized step program (input/latency/FIFO
+        # index tables are all static per configuration).
+        self._program = None
+        if not reference:
+            from .step_program import StepProgram
+
+            program = StepProgram(self)
+            if program.supported:
+                self._program = program
 
     def _unrank(self, t_scalar: int) -> tuple[int, ...] | None:
         total = 1
@@ -92,22 +133,15 @@ class Simulator:
                     dist[nid] = cand
         return max(dist.values(), default=0)
 
-    def run(self, tensors: dict[str, np.ndarray]) -> SimResult:
-        """Simulate the full temporal range of the configured dataflow.
-
-        ``tensors`` maps input tensor names to arrays shaped like the
-        address generators expect (see :func:`make_input`).  Returns the
-        output buffers plus activity counts.
-        """
-        dag = self.dag
-        cfg = self.cfg
-        total_t = cfg.total_timestamps
-        n_cycles = total_t + self.pipeline_bound + 2
-
+    def _prepare_storage(self, tensors: dict[str, np.ndarray]
+                         ) -> tuple[dict[str, np.ndarray],
+                                    dict[str, tuple[int, ...]]]:
+        """Flattened int64 memories per tensor (inputs copied in, the
+        rest zeroed) plus the tensor shapes — shared by both engines."""
         storage: dict[str, np.ndarray] = {}
         shapes: dict[str, tuple[int, ...]] = {}
-        for ag, agc in cfg.addrgen.items():
-            tensor = dag.nodes[ag].params["tensor"]
+        for ag, agc in self.cfg.addrgen.items():
+            tensor = self.dag.nodes[ag].params["tensor"]
             shapes[tensor] = agc.dims
         for tensor, dims in shapes.items():
             if tensor in tensors:
@@ -118,7 +152,45 @@ class Simulator:
                         f"got {arr.shape}")
                 storage[tensor] = arr.reshape(-1)
             else:
-                storage[tensor] = np.zeros(int(np.prod(dims)), dtype=np.int64)
+                storage[tensor] = np.zeros(int(np.prod(dims)),
+                                           dtype=np.int64)
+        return storage, shapes
+
+    def _collect_outputs(self, storage, shapes) -> dict[str, np.ndarray]:
+        outputs: dict[str, np.ndarray] = {}
+        for tensor, dims in shapes.items():
+            is_out = any(self.dag.nodes[nid].params.get("tensor") == tensor
+                         and self.dag.nodes[nid].kind == "mem_write"
+                         for nid in self.cfg.write_enable)
+            if is_out:
+                outputs[tensor] = storage[tensor].reshape(shapes[tensor])
+        return outputs
+
+    def run(self, tensors: dict[str, np.ndarray]) -> SimResult:
+        """Simulate the full temporal range of the configured dataflow.
+
+        ``tensors`` maps input tensor names to arrays shaped like the
+        address generators expect (see :func:`make_input`).  Returns the
+        output buffers plus activity counts.
+        """
+        storage, shapes = self._prepare_storage(tensors)
+        if (self._program is not None
+                and self._program.magnitude_safe(storage)):
+            _v, _k, toggles, mem_reads, mem_writes = \
+                self._program.run(storage)
+            return SimResult(
+                outputs=self._collect_outputs(storage, shapes),
+                cycles=self._program.n_cycles, toggles=toggles,
+                mem_reads=mem_reads, mem_writes=mem_writes)
+        return self._run_reference(storage, shapes)
+
+    def _run_reference(self, storage, shapes) -> SimResult:
+        """The original per-cycle interpreter (the bit-exactness
+        oracle)."""
+        dag = self.dag
+        cfg = self.cfg
+        total_t = cfg.total_timestamps
+        n_cycles = total_t + self.pipeline_bound + 2
 
         values: dict[int, list] = {nid: [None] * n_cycles for nid in self.order}
         toggles = {nid: 0 for nid in self.order}
@@ -236,14 +308,8 @@ class Simulator:
                     toggles[nid] += 1
                 values[nid][n] = out
 
-        outputs: dict[str, np.ndarray] = {}
-        for tensor, dims in shapes.items():
-            is_out = any(dag.nodes[nid].params.get("tensor") == tensor
-                         and dag.nodes[nid].kind == "mem_write"
-                         for nid in cfg.write_enable)
-            if is_out:
-                outputs[tensor] = storage[tensor].reshape(shapes[tensor])
-        return SimResult(outputs=outputs, cycles=n_cycles, toggles=toggles,
+        return SimResult(outputs=self._collect_outputs(storage, shapes),
+                         cycles=n_cycles, toggles=toggles,
                          mem_reads=mem_reads, mem_writes=mem_writes)
 
 
@@ -264,3 +330,30 @@ def simulate_workload(design: Design, dataflow: str,
     """Convenience wrapper: run the simulator, return output tensors."""
     sim = Simulator(design, dataflow)
     return sim.run(tensors).outputs
+
+
+def canonical_stimulus(design: Design,
+                       dataflow: str) -> dict[str, np.ndarray]:
+    """The canonical self-checking-testbench stimulus for *dataflow*:
+    ``default_rng(0)`` integers in ``[0, 8)``, one array per tensor the
+    configuration reads, generated in sorted tensor order.
+
+    This is the *single* definition every golden-vector producer shares
+    (the hls_c and Verilog testbench emitters and the staged pipeline's
+    sim-phase cache); its parameters are pinned by
+    :data:`CANONICAL_STIMULUS`, which must be bumped with any change
+    here or stale cached vectors would keep their old address.
+    """
+    rng = np.random.default_rng(0)
+    cfg = design.configs[dataflow]
+    names = sorted({design.dag.nodes[n].params["tensor"]
+                    for n in cfg.read_enable})
+    return {t: make_input(design, dataflow, t, rng, 0, 8) for t in names}
+
+
+def golden_vectors(design: Design, dataflow: str):
+    """``(tensors, outputs, cycles)`` of one run of *dataflow* under the
+    canonical stimulus — the payload of a sim-phase cache record."""
+    tensors = canonical_stimulus(design, dataflow)
+    result = Simulator(design, dataflow).run(tensors)
+    return tensors, result.outputs, int(result.cycles)

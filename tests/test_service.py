@@ -105,7 +105,9 @@ class TestCache:
         assert second.design_bytes() == first.design_bytes()
         assert second.rtl == first.rtl
         assert second.summary == first.summary
-        assert cache.stats.hits == 1 and cache.stats.puts == 1
+        # the cold run stores the finished record plus the staged
+        # pipeline's scheduled-design intermediate
+        assert cache.stats.hits == 1 and cache.stats.puts == 2
 
     def test_cold_memory_warm_disk(self, tmp_path):
         """A fresh process (fresh engine) must hit the on-disk tier."""
@@ -221,7 +223,8 @@ class TestBatchEngine:
         req = DesignRequest(array=(2, 2))
         results = engine.generate_many([req, req, req])
         assert len(results) == 3
-        assert cache.stats.puts == 1  # computed once
+        # computed once: one finished record + one phase intermediate
+        assert cache.stats.puts == 2
         assert len({id(r) for r in results}) == 1
 
     def test_error_capture_does_not_poison_batch(self, tmp_path):
@@ -363,12 +366,16 @@ class TestServiceCLI:
         cli_main(["generate", "--array", "2", "2",
                   "--cache-dir", cache_dir])
         capsys.readouterr()
+        # two entries: the finished design plus the staged pipeline's
+        # scheduled-design phase intermediate
         assert cli_main(["cache", "stats", "--dir", cache_dir]) == 0
-        assert "entries    : 1" in capsys.readouterr().out
+        assert "entries    : 2" in capsys.readouterr().out
         assert cli_main(["cache", "list", "--dir", cache_dir]) == 0
-        assert "design  gemm-KJ @2x2" in capsys.readouterr().out
+        listing = capsys.readouterr().out
+        assert "design  gemm-KJ @2x2" in listing
+        assert "phase   design" in listing
         assert cli_main(["cache", "clear", "--dir", cache_dir]) == 0
-        assert "removed 1" in capsys.readouterr().out
+        assert "removed 2" in capsys.readouterr().out
 
     def test_generate_cache_hit_note(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -392,8 +399,9 @@ class TestFacade:
         result = api.submit(DesignRequest(array=(2, 2)))
         assert result.ok
         stats = api.cache_stats()
-        assert stats["disk_entries"] == 1 and stats["puts"] == 1
-        assert api.clear_cache() == 1
+        # finished record + scheduled-design phase intermediate
+        assert stats["disk_entries"] == 2 and stats["puts"] == 2
+        assert api.clear_cache() == 2
         # Re-passing the same cache_dir keeps the warm engine ...
         assert api.get_engine(cache_dir=tmp_path / "cache") is engine
         api.get_engine(reset=True)  # detach from tmp_path
