@@ -27,6 +27,7 @@ import sys
 import time
 
 from conftest import record_table
+from repro.obs import get_registry
 from repro.service import BatchEngine, DesignCache, ServerThread, ServiceClient
 
 SRC_DIR = str(pathlib.Path(__file__).resolve().parents[1] / "src")
@@ -55,6 +56,19 @@ def _client_worker(port, n_requests, out_queue):
 def _percentile(sorted_values, fraction):
     return sorted_values[min(int(len(sorted_values) * fraction),
                              len(sorted_values) - 1)]
+
+
+def _generate_telemetry():
+    """(event-loop hits, executor hits, in-handler seconds, handled
+    requests) of the /generate route so far — the ServerThread shares
+    this process, so the registry sees the server's own counters."""
+    reg = get_registry()
+    path = reg.counter("repro_generate_path_total", "", ("path",))
+    seconds = reg.histogram("repro_http_request_seconds", "", ("route",))
+    generate = seconds.labels(route="/generate")
+    return (path.labels(path="event_loop").value,
+            path.labels(path="executor").value,
+            generate.sum, generate.count)
 
 
 def test_serving_latency(benchmark, tmp_path):
@@ -89,8 +103,10 @@ def test_serving_latency(benchmark, tmp_path):
                 p.join()
             return time.perf_counter() - start, sorted(latencies)
 
+        telemetry_before = _generate_telemetry()
         concurrent_s, latencies = benchmark.pedantic(
             concurrent_run, rounds=1, iterations=1)
+        telemetry_after = _generate_telemetry()
         concurrent_rate = N_CLIENTS * N_PER_CLIENT / concurrent_s
         p50 = _percentile(latencies, 0.50)
         p99 = _percentile(latencies, 0.99)
@@ -114,6 +130,16 @@ def test_serving_latency(benchmark, tmp_path):
     speedup_vs_cli = concurrent_rate / cli_rate
     speedup_vs_serial = concurrent_rate / serial_rate
 
+    # Root-cause split of the concurrent run, from the server's own
+    # telemetry (repro.obs): warm memory-tier hits are answered on the
+    # event loop; any other /generate pays two executor-thread handoffs.
+    loop_hits = telemetry_after[0] - telemetry_before[0]
+    executor_hits = telemetry_after[1] - telemetry_before[1]
+    handler_s = telemetry_after[2] - telemetry_before[2]
+    handled = telemetry_after[3] - telemetry_before[3]
+    loop_share = handler_s / concurrent_s if concurrent_s else 0.0
+    mean_handler_us = 1e6 * handler_s / handled if handled else 0.0
+
     lines = [
         f"serial HTTP loop          : {serial_rate:8.0f} req/s "
         f"({1e3 / serial_rate:6.2f} ms/req)",
@@ -126,6 +152,17 @@ def test_serving_latency(benchmark, tmp_path):
         f"concurrent vs serial HTTP : {speedup_vs_serial:8.2f}x "
         f"(single-core ceiling is the event loop; see --processes)",
         f"host cores                : {os.cpu_count()}",
+        f"event-loop vs executor    : {loop_hits:.0f} warm hits on the "
+        f"event loop, {executor_hits:.0f} via executor threads",
+        f"in-handler time           : {handler_s:.2f} s of "
+        f"{concurrent_s:.2f} s concurrent wall clock "
+        f"({100 * loop_share:.0f}%), {mean_handler_us:.0f} us/request",
+        f"root cause of the <1x concurrent/serial ratio: one event-loop "
+        f"thread does everything — the handler itself is only "
+        f"{100 * loop_share:.0f}% of the wall clock, the rest is "
+        f"per-connection socket reads/writes and HTTP parsing on that "
+        f"same thread, so {N_CLIENTS} clients just queue behind it "
+        f"(shard with `repro serve --processes N` to scale past it)",
     ]
     record_table("serving_latency",
                  "Async serving: warm latency under concurrent clients",

@@ -95,12 +95,13 @@ class EmitContext:
         run)."""
         import numpy as np
 
+        from ..obs import PHASE_SIM, trace_span
         from ..sim import dag_sim
 
         key = None
         if self.cache is not None and self.request is not None:
             key = self.request.sim_key(dataflow)
-            record = self.cache.get_phase("sim", key)
+            record = self.cache.get_phase(PHASE_SIM, key)
             if (isinstance(record, dict)
                     and record.get("kind") == "phase-sim-v1"):
                 decode = lambda block: {  # noqa: E731 — local shorthand
@@ -110,14 +111,16 @@ class EmitContext:
                 return (decode(record["tensors"]),
                         decode(record["outputs"]),
                         int(record["cycles"]))
-        tensors, outputs, cycles = dag_sim.golden_vectors(design, dataflow)
+        with trace_span(PHASE_SIM, dataflow=dataflow):
+            tensors, outputs, cycles = dag_sim.golden_vectors(design,
+                                                              dataflow)
         if key is not None:
             encode = lambda block: {  # noqa: E731 — local shorthand
                 name: {"shape": list(np.asarray(arr).shape),
                        "data": [int(v) for v in
                                 np.asarray(arr).reshape(-1)]}
                 for name, arr in block.items()}
-            self.cache.put_phase("sim", key, {
+            self.cache.put_phase(PHASE_SIM, key, {
                 "kind": "phase-sim-v1",
                 "tensors": encode(tensors),
                 "outputs": encode(outputs),

@@ -14,7 +14,10 @@ Commands
                pluggable search strategy (``--strategy``/``--max-evals``);
 ``cache``      inspect, list, or clear the content-addressed design cache;
 ``serve``      run the asyncio HTTP front end (generate/batch/explore as
-               a long-lived service with pausable exploration jobs).
+               a long-lived service with pausable exploration jobs);
+``metrics``    print telemetry as Prometheus text (this process's
+               registry, or a running server's ``GET /metrics``);
+``trace``      summarize an exported Chrome/Perfetto trace file.
 """
 
 from __future__ import annotations
@@ -72,11 +75,27 @@ def _artifact_suffix(name: str, module: str) -> str:
     return name[len(module):] if name.startswith(module) else f"_{name}"
 
 
+def _export_trace_arg(args: argparse.Namespace, trace_id: str) -> None:
+    """Honour a ``--trace-out`` flag: write everything the tracer
+    buffered (pool-worker spans included) as Perfetto-loadable JSON."""
+    if not getattr(args, "trace_out", None):
+        return
+    from .obs import export_chrome_trace
+
+    count = export_chrome_trace(args.trace_out)
+    print(f"wrote {count} trace events (trace_id {trace_id}) to "
+          f"{args.trace_out}")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from .obs import new_trace_id, trace_context
     from .report import render_topology
 
     request = _request_from_args(args)
-    result = _build_engine(args).submit(request)
+    trace_id = new_trace_id()
+    with trace_context(trace_id):
+        result = _build_engine(args).submit(request)
+    _export_trace_arg(args, trace_id)
     if not result.ok:
         print(f"generation failed: {result.error}", file=sys.stderr)
         return 1
@@ -167,10 +186,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"  {result.elapsed_s:6.2f}s  {result.spec_hash[:12]}")
 
     import time
+
+    from .obs import new_trace_id, trace_context
+
+    trace_id = new_trace_id()
     start = time.perf_counter()
-    results = engine.generate_many(requests, workers=args.workers,
-                                   progress=progress)
+    with trace_context(trace_id):
+        results = engine.generate_many(requests, workers=args.workers,
+                                       progress=progress)
     elapsed = max(time.perf_counter() - start, 1e-9)
+    _export_trace_arg(args, trace_id)
 
     if args.output_dir:
         out = pathlib.Path(args.output_dir)
@@ -225,7 +250,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
     serve(engine=_build_engine(args), host=args.host, port=args.port,
-          step_evals=args.step_evals, processes=args.processes)
+          step_evals=args.step_evals, processes=args.processes,
+          log_level=args.log_level,
+          slow_request_ms=args.slow_request_ms)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.url:
+        from .service.client import ServiceClient
+
+        with ServiceClient.from_url(args.url) as client:
+            sys.stdout.write(client.metrics())
+    else:
+        from .service.api import metrics_text
+
+        sys.stdout.write(metrics_text())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import load_chrome_trace
+
+    try:
+        events = load_chrome_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    spans = [e for e in events
+             if e.get("ph") == "X" and "ts" in e and "dur" in e]
+    print(f"{args.file}: {len(events)} events "
+          f"({len(spans)} complete spans)")
+    if not spans:
+        return 0
+    start = min(e["ts"] for e in spans)
+    end = max(e["ts"] + e["dur"] for e in spans)
+    pids = {e.get("pid") for e in spans}
+    trace_ids = {e["args"]["trace_id"] for e in spans
+                 if isinstance(e.get("args"), dict)
+                 and "trace_id" in e["args"]}
+    print(f"wall span  : {(end - start) / 1e3:.1f} ms across "
+          f"{len(pids)} process(es), {len(trace_ids)} trace id(s)")
+    by_name: dict[str, list[float]] = {}
+    for e in spans:
+        by_name.setdefault(str(e.get("name", "?")), []).append(e["dur"])
+    print(f"{'span':24s}{'count':>7s}{'total ms':>10s}"
+          f"{'mean ms':>9s}{'max ms':>9s}")
+    ranked = sorted(by_name.items(), key=lambda kv: -sum(kv[1]))
+    for name, durs in ranked[:args.top]:
+        total = sum(durs)
+        print(f"{name:24s}{len(durs):7d}{total / 1e3:10.1f}"
+              f"{total / len(durs) / 1e3:9.2f}{max(durs) / 1e3:9.2f}")
+    if len(ranked) > args.top:
+        print(f"... {len(ranked) - args.top} more span names "
+              f"(raise --top)")
     return 0
 
 
@@ -245,9 +323,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             except OSError:
                 return 0
         total_bytes = sum(size_of(k) for k in keys)
+        kinds: dict[str, int] = {}
+        for key in keys:
+            record = cache.peek(key)
+            kind = (record or {}).get("kind", "design")
+            if kind.startswith("phase-"):
+                kind = "phase"
+            elif kind == "eval-v1":
+                kind = "eval"
+            else:
+                kind = "design"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
         print(f"cache root : {cache.root}")
-        print(f"entries    : {len(keys)}")
+        print(f"entries    : {len(keys)}" +
+              (f" ({breakdown})" if breakdown else ""))
         print(f"size       : {total_bytes / 1024:.1f} KiB")
+        # Per-tier hit/miss counters of *this process's* cache object —
+        # a long-lived process (server, notebook) sees its real traffic
+        # here; a fresh CLI invocation reports zeros.  `GET /healthz`
+        # serves the same breakdown for a running server.
+        for tier, counters in cache.stats.tiers().items():
+            line = "  ".join(f"{name}={value}"
+                             for name, value in counters.items())
+            print(f"tier {tier:7s}: {line}")
         return 0
     # list — peek() keeps the listing read-only (no LRU promotion, no
     # mtime refresh that would scramble the eviction order)
@@ -355,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
                      "artifacts (hls_c): emit only the kernel")
     gen.add_argument("--output", "-o", help="write the primary emitted "
                      "artifact here (companion artifacts land beside it)")
+    gen.add_argument("--trace-out", metavar="FILE",
+                     help="write this run's spans as Chrome-trace-event "
+                     "JSON (load at https://ui.perfetto.dev)")
     gen.add_argument("--module", default="lego_top")
     _add_cache_flags(gen)
     gen.set_defaults(func=_cmd_generate)
@@ -390,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--show-traceback", action="store_true",
                      help="print the full captured traceback of each "
                      "failed request, not just the error line")
+    bat.add_argument("--trace-out", metavar="FILE",
+                     help="write a merged Chrome-trace-event JSON of "
+                     "every span the batch produced (pool workers "
+                     "included) — load it at https://ui.perfetto.dev")
     _add_cache_flags(bat)
     bat.set_defaults(func=_cmd_batch)
 
@@ -407,6 +513,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--step-evals", type=float, default=1.0,
                      metavar="E", help="checkpoint granularity of explore "
                      "jobs, in full-model evaluations per step")
+    from .obs import LOG_LEVELS
+    srv.add_argument("--log-level", default="warning",
+                     choices=list(LOG_LEVELS),
+                     help="stdlib logging level of the repro.* loggers "
+                     "(info logs one line per request at debug, slow "
+                     "requests always warn)")
+    srv.add_argument("--slow-request-ms", type=float, default=1000.0,
+                     metavar="MS",
+                     help="log a WARNING (with route and trace id) for "
+                     "requests slower than this; 0 disables")
     _add_cache_flags(srv)
     srv.set_defaults(func=_cmd_serve)
 
@@ -452,6 +568,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for point evaluation")
     _add_cache_flags(ex)
     ex.set_defaults(func=_cmd_explore)
+
+    mt = sub.add_parser("metrics",
+                        help="print telemetry as Prometheus text")
+    mt.add_argument("--url", metavar="URL",
+                    help="scrape a running server's GET /metrics (e.g. "
+                    "http://127.0.0.1:8731) instead of printing this "
+                    "process's registry")
+    mt.set_defaults(func=_cmd_metrics)
+
+    tr = sub.add_parser("trace",
+                        help="summarize an exported Chrome/Perfetto "
+                        "trace file")
+    tr.add_argument("file", help="Chrome-trace-event JSON, e.g. from "
+                    "`repro batch --trace-out` or GET /metrics tooling")
+    tr.add_argument("--top", type=int, default=20, metavar="N",
+                    help="show the N span names with the largest total "
+                    "duration")
+    tr.set_defaults(func=_cmd_trace)
     return parser
 
 

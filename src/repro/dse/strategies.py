@@ -51,6 +51,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..models.layers import Model
+from ..obs import get_registry, trace_span
 from .explorer import DesignPoint, DesignSpace
 
 __all__ = [
@@ -66,6 +67,14 @@ OBJECTIVES = {
     "energy": lambda p: p.energy_pj,
     "throughput": lambda p: -p.gops,
 }
+
+
+_DSE_EVALS = get_registry().counter(
+    "repro_dse_evals_total",
+    "DSE evaluation budget spent, in full-model-equivalents",
+    ("strategy",))
+_DSE_SEARCHES = get_registry().counter(
+    "repro_dse_searches_total", "DSE searches run", ("strategy",))
 
 
 class SearchPaused(RuntimeError):
@@ -510,6 +519,17 @@ def run_search(models, space: DesignSpace | None = None,
                                    workers=workers,
                                    area_budget_mm2=area_budget_mm2,
                                    objective=objective)
-    strat.run(evaluator, space, rng or random.Random(seed),
-              max_evals=max_evals)
+    # Meter the strategy's spend (full-model-equivalents) even when the
+    # run pauses or fails: the evals-used delta is charged on the way
+    # out, and the span records how far the search got.
+    before = evaluator.evals_used
+    try:
+        with trace_span("dse:search", strategy=strat.name,
+                        objective=objective):
+            strat.run(evaluator, space, rng or random.Random(seed),
+                      max_evals=max_evals)
+    finally:
+        _DSE_EVALS.labels(strategy=strat.name).inc(
+            max(0.0, evaluator.evals_used - before))
+        _DSE_SEARCHES.labels(strategy=strat.name).inc()
     return evaluator.result(strat.name, space)

@@ -1,0 +1,92 @@
+"""Telemetry subsystem: metrics, tracing, phase vocabulary, logging.
+
+Dependency-free observability for the whole stack — the substrate the
+serving front end, the batch engine, the cache tiers, the DSE
+strategies, and (eventually) a per-pass pipeline all instrument into:
+
+:mod:`repro.obs.metrics`
+    process-wide :class:`MetricsRegistry` (counters, gauges, fixed-
+    bucket histograms; thread-safe; picklable snapshots that merge
+    across pool workers) rendered as Prometheus text by ``GET
+    /metrics`` and ``repro metrics``.
+:mod:`repro.obs.tracing`
+    ``trace_span(name, **attrs)`` spans with request-scoped trace IDs,
+    buffered process-wide and exportable as Chrome-trace-event JSON
+    (loadable at https://ui.perfetto.dev) — ``repro trace <file>``
+    summarizes one.
+:mod:`repro.obs.phases`
+    the staged pipeline's phase-name constants (``adg``, ``schedule``,
+    ``emit``, …) shared by ``DesignResult.phases``, the cache's phase
+    tiers, metric labels, and span names.
+:mod:`repro.obs.logs`
+    stdlib-``logging`` setup (``repro serve --log-level``).
+
+:func:`timed_phase` is the one-liner the pipeline uses: one context
+manager that times a region, records a trace span, observes the
+``repro_phase_seconds`` histogram, and (optionally) writes the duration
+into a caller-owned dict such as ``DesignResult.phases``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from .logs import LOG_LEVELS, get_logger, setup_logging
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, get_registry, reset_registry)
+from .phases import (CACHE_PHASE_TIERS, PHASE_ADG, PHASE_DESIGN,
+                     PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_SCHEDULE,
+                     PHASE_SIM, PIPELINE_PHASES)
+from .tracing import (Span, Tracer, current_trace_id, export_chrome_trace,
+                      get_tracer, load_chrome_trace, new_trace_id,
+                      trace_context, trace_span)
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_BUCKETS", "get_registry", "reset_registry",
+    "Tracer", "Span", "get_tracer", "trace_span", "new_trace_id",
+    "current_trace_id", "trace_context", "export_chrome_trace",
+    "load_chrome_trace",
+    "PHASE_ADG", "PHASE_SCHEDULE", "PHASE_EMIT", "PHASE_DESIGN_LOAD",
+    "PHASE_DESIGN", "PHASE_SIM", "PIPELINE_PHASES", "CACHE_PHASE_TIERS",
+    "setup_logging", "get_logger", "LOG_LEVELS",
+    "timed_phase", "telemetry_snapshot", "merge_telemetry",
+]
+
+_PHASE_SECONDS = get_registry().histogram(
+    "repro_phase_seconds",
+    "wall-clock seconds per staged-pipeline phase", ("phase",))
+
+
+@contextlib.contextmanager
+def timed_phase(phase: str, sink: dict | None = None, **attrs):
+    """Time one staged-pipeline phase into every telemetry sink at once:
+    a trace span named *phase*, the ``repro_phase_seconds{phase=...}``
+    histogram, and (when *sink* is given) ``sink[phase] = seconds`` —
+    the shape ``DesignResult.phases`` expects."""
+    t0 = time.perf_counter()
+    with trace_span(phase, **attrs) as span:
+        yield span
+    elapsed = time.perf_counter() - t0
+    if sink is not None:
+        sink[phase] = elapsed
+    _PHASE_SECONDS.labels(phase=phase).observe(elapsed)
+
+
+def telemetry_snapshot() -> dict:
+    """Picklable bundle of this process's telemetry delta — the payload
+    a :class:`~repro.service.engine.BatchEngine` pool worker returns
+    beside each result (see :func:`merge_telemetry`)."""
+    return {"metrics": get_registry().snapshot(),
+            "spans": get_tracer().take()}
+
+
+def merge_telemetry(bundle: dict | None) -> None:
+    """Fold a worker's :func:`telemetry_snapshot` into this process:
+    metrics merge into the global registry, spans append to the global
+    tracer (keeping their original worker pid)."""
+    if not bundle:
+        return
+    get_registry().merge(bundle.get("metrics"))
+    get_tracer().extend(bundle.get("spans", ()))

@@ -1,0 +1,53 @@
+"""Structured logging setup for the serving stack (stdlib ``logging``).
+
+Library modules just call ``logging.getLogger("repro.<area>")`` and log;
+nothing is emitted until an entry point opts in.  ``repro serve
+--log-level`` calls :func:`setup_logging`, which attaches one
+stream handler with a timestamped single-line format to the ``repro``
+logger tree.  Idempotent: repeated setup re-levels the existing handler
+instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["setup_logging", "get_logger", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """``logging.getLogger("repro.<name>")`` (accepts either form)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(level: str = "warning",
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree to emit at *level*.
+
+    Returns the root ``repro`` logger.  Safe to call more than once —
+    the handler this module installed is re-used and re-levelled.
+    """
+    if level.lower() not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of "
+                         f"{LOG_LEVELS}")
+    numeric = getattr(logging, level.upper())
+    root = logging.getLogger("repro")
+    root.setLevel(numeric)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_FLAG, False):
+            handler.setLevel(numeric)
+            break
+    else:
+        handler = logging.StreamHandler(stream)
+        handler.setLevel(numeric)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+    return root

@@ -1,0 +1,188 @@
+"""Span-based tracing with Chrome-trace-event export (Perfetto-ready).
+
+A *span* is one timed region of work — an HTTP request, a staged
+pipeline phase, an emitter family run — recorded as a Chrome trace
+"complete" event (``ph: "X"``): wall-clock start in epoch microseconds,
+duration from ``perf_counter``, the recording pid/tid, and free-form
+``args``.  Events from many processes merge cleanly because the
+timestamps share the epoch clock; load the exported JSON at
+https://ui.perfetto.dev (or ``chrome://tracing``) and spans nest by
+timing per thread track.
+
+Request-scoped **trace IDs** ride a :mod:`contextvars` variable: the
+server (or ``api``) mints one per request (:func:`new_trace_id`), binds
+it with :func:`trace_context`, and every span recorded inside — on the
+event loop, on an executor thread that re-binds it, or in a pool worker
+that received it inside a pickled payload — carries it in ``args``, so
+one request's work can be filtered out of a fleet-wide trace.
+
+Spans land in the process-global :class:`Tracer` ring buffer (bounded,
+so a long-lived server cannot leak memory through its own telemetry).
+
+>>> get_tracer().clear()
+>>> with trace_span("demo", kind="doc"):
+...     pass
+>>> event = get_tracer().events()[-1]
+>>> event["name"], event["ph"], event["args"]["kind"]
+('demo', 'X', 'doc')
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import contextvars
+import json
+import os
+import secrets
+import threading
+import time
+
+__all__ = ["Tracer", "Span", "get_tracer", "trace_span", "new_trace_id",
+           "current_trace_id", "trace_context", "export_chrome_trace",
+           "load_chrome_trace"]
+
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request-scoped trace id."""
+    return secrets.token_hex(8)
+
+
+def current_trace_id() -> str | None:
+    """The trace id bound in this context, or None outside a request."""
+    return _TRACE_ID.get()
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: str | None):
+    """Bind *trace_id* for the duration of the block.  Executor threads
+    and pool workers do not inherit the caller's contextvars, so thread
+    and worker entry points re-bind explicitly with this."""
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
+
+
+class Span:
+    """Mutable handle yielded by :func:`trace_span`; ``set(**attrs)``
+    attaches attributes after the fact (e.g. a result status)."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Bounded, thread-safe buffer of finished span events."""
+
+    def __init__(self, max_events: int = 100_000):
+        self._lock = threading.Lock()
+        self._events: collections.deque = collections.deque(
+            maxlen=max_events)
+        self.enabled = True
+        #: spans dropped because the ring buffer was full
+        self.dropped = 0
+
+    def record(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append(event)
+
+    def extend(self, events) -> None:
+        """Merge spans recorded elsewhere (pool workers, siblings)."""
+        with self._lock:
+            for event in events:
+                if len(self._events) == self._events.maxlen:
+                    self.dropped += 1
+                self._events.append(event)
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def take(self) -> list[dict]:
+        """Drain: return the buffered spans and clear the buffer."""
+        with self._lock:
+            out = list(self._events)
+            self._events.clear()
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def chrome_trace(self) -> dict:
+        """The buffer as a Chrome-trace-event JSON object."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global span buffer."""
+    return _TRACER
+
+
+@contextlib.contextmanager
+def trace_span(name: str, **attrs):
+    """Record the enclosed block as one complete ("X") trace event.
+
+    Attributes plus the current trace id land in the event's ``args``.
+    Yields a :class:`Span`; ``span.set(...)`` adds attributes before
+    the event is finalized.
+    """
+    tracer = _TRACER
+    if not tracer.enabled:
+        yield Span(name, attrs)
+        return
+    span = Span(name, attrs)
+    ts_us = time.time_ns() // 1000  # epoch clock: aligns across processes
+    t0 = time.perf_counter()
+    try:
+        yield span
+    finally:
+        dur_us = (time.perf_counter() - t0) * 1e6
+        args = dict(span.attrs)
+        trace_id = _TRACE_ID.get()
+        if trace_id is not None:
+            args["trace_id"] = trace_id
+        tracer.record({"name": span.name, "ph": "X", "ts": ts_us,
+                       "dur": dur_us, "pid": os.getpid(),
+                       "tid": threading.get_ident(), "args": args})
+
+
+def export_chrome_trace(path, events: list[dict] | None = None) -> int:
+    """Write the tracer buffer (or *events*) as Chrome-trace JSON at
+    *path*; returns the number of events written.  The file loads
+    directly in Perfetto (https://ui.perfetto.dev)."""
+    if events is None:
+        events = _TRACER.events()
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return len(events)
+
+
+def load_chrome_trace(path) -> list[dict]:
+    """Read a Chrome-trace JSON file (object or bare array form) back
+    into a list of events — the ``repro trace`` CLI's loader."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        data = data.get("traceEvents", [])
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: not a Chrome trace event file")
+    return [e for e in data if isinstance(e, dict)]

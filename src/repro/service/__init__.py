@@ -10,8 +10,9 @@ façade is the single entry point the CLI, the DSE explorer, and the
 benchmarks all route through.
 """
 
-from .api import (cache_stats, clear_cache, explore_cached, generate_many,
-                  get_engine, list_backends, submit)
+from .api import (cache_stats, clear_cache, explore_cached, export_trace,
+                  generate_many, get_engine, list_backends, metrics_text,
+                  submit)
 from .cache import CacheStats, DesignCache
 from .client import ServiceClient, ServiceError
 from .engine import (BatchEngine, evaluate_archs, model_fingerprint,
@@ -27,6 +28,7 @@ __all__ = [
     "model_fingerprint",
     "get_engine", "submit", "generate_many", "explore_cached",
     "cache_stats", "clear_cache", "list_backends",
+    "metrics_text", "export_trace",
     "DesignServer", "ServerThread", "serve",
     "ServiceClient", "ServiceError",
     "Job", "JobRegistry",

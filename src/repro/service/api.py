@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import pathlib
 
+from ..obs import (current_trace_id, export_chrome_trace, get_registry,
+                   new_trace_id, trace_context)
 from .cache import DesignCache
 from .engine import BatchEngine
 from .spec import DesignRequest, DesignResult
 
 __all__ = ["get_engine", "submit", "generate_many", "explore_cached",
-           "cache_stats", "clear_cache", "list_backends"]
+           "cache_stats", "clear_cache", "list_backends",
+           "metrics_text", "export_trace"]
 
 _engine: BatchEngine | None = None
 
@@ -48,15 +51,21 @@ def submit(request: DesignRequest, **engine_kwargs) -> DesignResult:
     ``module`` reuses the cached scheduled design (and, for testbench
     emission, the golden simulation vectors) instead of recompiling —
     see ``DesignRequest.design_key``/``sim_key`` and the
-    ``phase_hits`` counter in :func:`cache_stats`."""
-    return get_engine(**engine_kwargs).submit(request)
+    ``phase_hits`` counter in :func:`cache_stats`.
+
+    Spans recorded along the way carry the ambient trace id, minting a
+    fresh one when the caller has not bound one (the library-use mirror
+    of the ids the server mints per HTTP request)."""
+    with trace_context(current_trace_id() or new_trace_id()):
+        return get_engine(**engine_kwargs).submit(request)
 
 
 def generate_many(requests, workers: int | None = None, progress=None,
                   **engine_kwargs) -> list[DesignResult]:
     """Generate a batch of requests (or a whole ``DesignSpace``)."""
-    return get_engine(**engine_kwargs).generate_many(
-        requests, workers=workers, progress=progress)
+    with trace_context(current_trace_id() or new_trace_id()):
+        return get_engine(**engine_kwargs).generate_many(
+            requests, workers=workers, progress=progress)
 
 
 def explore_cached(models, space=None, objective: str = "edp",
@@ -93,12 +102,29 @@ def list_backends() -> list[dict]:
 
 
 def cache_stats() -> dict:
-    """Counters plus size of the shared engine's cache."""
+    """Counters plus size of the shared engine's cache, including the
+    per-tier breakdown (memory / disk / phase / live) that ``repro
+    cache stats`` and ``GET /healthz`` print."""
     engine = get_engine()
     stats = engine.cache.stats.as_dict()
     stats["disk_entries"] = len(engine.cache)
     stats["root"] = str(engine.cache.root)
+    stats["tiers"] = engine.cache.stats.tiers()
     return stats
+
+
+def metrics_text() -> str:
+    """This process's telemetry as Prometheus text — what a server
+    would serve on ``GET /metrics`` (``repro metrics`` without
+    ``--url`` prints this)."""
+    return get_registry().render()
+
+
+def export_trace(path) -> int:
+    """Write every span buffered so far to *path* as Chrome-trace-event
+    JSON (open it at https://ui.perfetto.dev); returns the number of
+    events written."""
+    return export_chrome_trace(path)
 
 
 def clear_cache() -> int:

@@ -44,11 +44,27 @@ try:
 except ImportError:  # pragma: no cover — non-POSIX fallback
     fcntl = None
 
+from ..obs import get_registry
 from ..serialize import canonical_dumps
 
 __all__ = ["DesignCache", "CacheStats", "default_cache_dir"]
 
 _FORMAT = "lego-cache-v1"
+
+# Telemetry: one lookup counter across all four tiers (memory / disk /
+# phase / live), so `GET /metrics` answers "which tier absorbed the
+# traffic" directly.  Families are process-global; pool workers reset
+# and re-report them as deltas (see repro.obs.metrics).
+_LOOKUPS = get_registry().counter(
+    "repro_cache_lookups_total",
+    "design-cache lookups by tier and outcome", ("tier", "outcome"))
+_PUTS = get_registry().counter(
+    "repro_cache_puts_total", "design-cache record writes")
+_EVICTIONS = get_registry().counter(
+    "repro_cache_evictions_total", "design-cache disk-tier evictions")
+_CORRUPT = get_registry().counter(
+    "repro_cache_corrupt_total",
+    "corrupted design-cache entries dropped")
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -87,6 +103,22 @@ class CacheStats:
                 "phase_misses": self.phase_misses,
                 "live_hits": self.live_hits,
                 "hit_rate": round(self.hit_rate, 4)}
+
+    def tiers(self) -> dict:
+        """Tier-by-tier breakdown (memory / disk / phase / live) — the
+        shape ``/healthz`` and ``repro cache stats`` report, so cache
+        behaviour can be read per tier rather than from the flat
+        counter soup."""
+        return {
+            "memory": {"hits": self.memory_hits},
+            "disk": {"hits": self.hits - self.memory_hits,
+                     "misses": self.misses, "puts": self.puts,
+                     "evictions": self.evictions,
+                     "corrupt": self.corrupt},
+            "phase": {"hits": self.phase_hits,
+                      "misses": self.phase_misses},
+            "live": {"hits": self.live_hits},
+        }
 
 
 @dataclass
@@ -157,7 +189,9 @@ class DesignCache:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 self.stats.memory_hits += 1
-            return record
+        if record is not None:
+            _LOOKUPS.labels(tier="memory", outcome="hit").inc()
+        return record
 
     def get(self, key: str) -> dict | None:
         """The cached record for *key*, or None on miss/corruption."""
@@ -175,6 +209,7 @@ class DesignCache:
         except FileNotFoundError:
             with self._lock:
                 self.stats.misses += 1
+            _LOOKUPS.labels(tier="disk", outcome="miss").inc()
             return None
         except (ValueError, OSError):
             # Corrupted entry: drop it and let the caller regenerate.
@@ -183,6 +218,8 @@ class DesignCache:
                 self.stats.misses += 1
                 if self._disk_count is not None:
                     self._disk_count = max(0, self._disk_count - 1)
+            _LOOKUPS.labels(tier="disk", outcome="miss").inc()
+            _CORRUPT.inc()
             try:
                 path.unlink()
             except OSError:
@@ -191,6 +228,7 @@ class DesignCache:
         with self._lock:
             self.stats.hits += 1
             self._remember(key, wrapper["record"])
+        _LOOKUPS.labels(tier="disk", outcome="hit").inc()
         # Refresh mtime so disk eviction approximates LRU, not FIFO.
         try:
             os.utime(path)
@@ -221,6 +259,7 @@ class DesignCache:
             if self._disk_count is not None and not existed:
                 self._disk_count += 1
             self._remember(key, record)
+        _PUTS.inc()
         self._evict_disk()
 
     def clear(self) -> int:
@@ -262,6 +301,9 @@ class DesignCache:
                 self.stats.phase_hits += 1
             else:
                 self.stats.phase_misses += 1
+        _LOOKUPS.labels(tier="phase",
+                        outcome="hit" if record is not None
+                        else "miss").inc()
         return record
 
     def put_phase(self, phase: str, key: str, record: dict) -> None:
@@ -280,7 +322,10 @@ class DesignCache:
             if obj is not None:
                 self._live.move_to_end(address)
                 self.stats.live_hits += 1
-            return obj
+        _LOOKUPS.labels(tier="live",
+                        outcome="hit" if obj is not None
+                        else "miss").inc()
+        return obj
 
     def put_live(self, phase: str, key: str, obj) -> None:
         address = self.phase_address(phase, key)
@@ -357,6 +402,7 @@ class DesignCache:
                     path.unlink()
                     with self._lock:
                         self.stats.evictions += 1
+                    _EVICTIONS.inc()
                 except OSError:
                     pass
                 with self._lock:

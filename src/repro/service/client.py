@@ -68,6 +68,27 @@ class ServiceClient:
         whose response was lost is NOT resent: ``/batch``/``/explore``
         would create a duplicate job.
         """
+        status, data = self._roundtrip(method, path, body)
+        try:
+            decoded = json.loads(data.decode()) if data else {}
+        except ValueError:
+            decoded = {"error": data.decode(errors="replace")}
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    def request_text(self, method: str, path: str) -> str:
+        """Like :meth:`request`, but return the raw response body as
+        text — for non-JSON endpoints (the Prometheus exposition of
+        ``GET /metrics``)."""
+        status, data = self._roundtrip(method, path, None)
+        text = data.decode(errors="replace")
+        if status >= 400:
+            raise ServiceError(status, {"error": text})
+        return text
+
+    def _roundtrip(self, method: str, path: str,
+                   body: dict | None) -> tuple[int, bytes]:
         payload = json.dumps(body).encode() if body is not None else None
         headers = {"Content-Type": "application/json"}
         for attempt in (0, 1):
@@ -84,24 +105,22 @@ class ServiceClient:
                 continue
             try:
                 response = self._conn.getresponse()
-                data = response.read()
-                break
+                return response.status, response.read()
             except (ConnectionError, http.client.HTTPException, OSError):
                 self.close()
                 if attempt or method != "GET":
                     raise
-        try:
-            decoded = json.loads(data.decode()) if data else {}
-        except ValueError:
-            decoded = {"error": data.decode(errors="replace")}
-        if response.status >= 400:
-            raise ServiceError(response.status, decoded)
-        return decoded
+        raise ConnectionError(  # pragma: no cover — both attempts failed
+            f"could not reach {self.host}:{self.port}")
 
     # -- endpoints ---------------------------------------------------------
 
     def health(self) -> dict:
         return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition — ``GET /metrics``."""
+        return self.request_text("GET", "/metrics")
 
     def backends(self) -> list[dict]:
         """Registered emitter backend families (name, description,

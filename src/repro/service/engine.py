@@ -21,6 +21,10 @@ import multiprocessing
 from collections import Counter
 from typing import Callable, Iterable, Sequence
 
+from ..obs import (current_trace_id, get_registry, merge_telemetry,
+                   reset_registry, telemetry_snapshot, trace_context,
+                   trace_span)
+from ..obs.tracing import get_tracer
 from ..serialize import canonical_dumps
 from .cache import DesignCache
 from .spec import DesignRequest, DesignResult, execute_request
@@ -67,13 +71,24 @@ def _cache_spec(cache: DesignCache | None) -> dict | None:
             "disk_entries": cache.disk_entries}
 
 
-def _run_request_payload(payload: dict) -> tuple[str, dict]:
+def _run_request_payload(payload: dict) -> tuple[str, dict, dict]:
     """Worker entry point: rebuild the request, run it through the
-    staged pipeline, return the cache record.  Top-level so it pickles
-    under both fork and spawn."""
-    request = DesignRequest.from_dict(payload)
-    result = execute_request(request, cache=_WORKER_CACHE)
-    return result.spec_hash, result.to_record()
+    staged pipeline, return the cache record plus this task's telemetry
+    delta (metrics snapshot + spans, tagged with the trace id the
+    payload carried).  Top-level so it pickles under both fork and
+    spawn.
+
+    Pool workers process tasks serially, so resetting the worker's
+    process-global registry/tracer at task start makes the snapshot at
+    task end exactly this task's delta — fork-inherited parent counts
+    included in neither.
+    """
+    reset_registry()
+    get_tracer().clear()
+    request = DesignRequest.from_dict(payload["request"])
+    with trace_context(payload.get("trace_id")):
+        result = execute_request(request, cache=_WORKER_CACHE)
+    return result.spec_hash, result.to_record(), telemetry_snapshot()
 
 
 def requests_from_space(space, options=None,
@@ -97,6 +112,12 @@ def requests_from_space(space, options=None,
                                 array=arch.array, backend=backend)
             seen.setdefault(req.spec_hash(), req)
     return list(seen.values())
+
+
+_DESIGNS = get_registry().counter(
+    "repro_designs_total",
+    "design requests resolved by the batch engine",
+    ("source", "outcome"))
 
 
 class BatchEngine:
@@ -135,52 +156,66 @@ class BatchEngine:
             # One progress tick per *request*, so `done` reaches `total`
             # even when requests are cache hits or in-batch duplicates.
             nonlocal done
+            _DESIGNS.labels(
+                source="cache" if result.from_cache else "cold",
+                outcome="ok" if result.ok else "error",
+            ).inc(occurrences[result.spec_hash])
             for _ in range(occurrences[result.spec_hash]):
                 done += 1
                 if progress is not None:
                     progress(done, total, result)
 
-        # 1. cache pass + in-batch dedup
-        cold: list[DesignRequest] = []
-        cold_keys: set[str] = set()
-        for req, key in zip(requests, hashes):
-            if key in resolved or key in cold_keys:
-                continue
-            record = self.cache.get(key) if self.cache is not None else None
-            if record is not None:
-                resolved[key] = DesignResult.from_record(key, record)
-                report(resolved[key])
-            else:
-                cold.append(req)
-                cold_keys.add(key)
+        with trace_span("batch", n_requests=total, workers=workers):
+            # 1. cache pass + in-batch dedup
+            cold: list[DesignRequest] = []
+            cold_keys: set[str] = set()
+            for req, key in zip(requests, hashes):
+                if key in resolved or key in cold_keys:
+                    continue
+                record = (self.cache.get(key)
+                          if self.cache is not None else None)
+                if record is not None:
+                    resolved[key] = DesignResult.from_record(key, record)
+                    report(resolved[key])
+                else:
+                    cold.append(req)
+                    cold_keys.add(key)
 
-        # 2. fan the cold set out
-        for key, record in self._execute(cold, workers):
-            result = DesignResult.from_record(key, record, from_cache=False)
-            resolved[key] = result
-            if self.cache is not None and result.ok:
-                self.cache.put(key, record)
-            report(result)
+            # 2. fan the cold set out
+            for key, record in self._execute(cold, workers):
+                result = DesignResult.from_record(key, record,
+                                                  from_cache=False)
+                resolved[key] = result
+                if self.cache is not None and result.ok:
+                    self.cache.put(key, record)
+                report(result)
 
         return [resolved[key] for key in hashes]
 
     def _execute(self, cold: Sequence[DesignRequest],
                  workers: int) -> Iterable[tuple[str, dict]]:
-        payloads = [r.to_dict() for r in cold]
         if workers <= 1 or len(cold) <= 1:
             # In-process: the staged pipeline shares this engine's cache
-            # directly (live tier included).
-            for payload in payloads:
-                request = DesignRequest.from_dict(payload)
+            # directly (live tier included), and its telemetry lands in
+            # this process's registry/tracer as it happens.
+            for request in cold:
                 result = execute_request(request, cache=self.cache)
                 yield result.spec_hash, result.to_record()
             return
+        # Pooled: ship the current trace id inside each pickled payload
+        # and merge every worker's telemetry delta back, so the parent's
+        # /metrics and exported trace cover the whole fan-out.
+        trace_id = current_trace_id()
+        payloads = [{"request": r.to_dict(), "trace_id": trace_id}
+                    for r in cold]
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(cold)),
                       initializer=_init_request_worker,
                       initargs=(_cache_spec(self.cache),)) as pool:
-            yield from pool.imap(_run_request_payload, payloads,
-                                 chunksize=1)
+            for key, record, telemetry in pool.imap(
+                    _run_request_payload, payloads, chunksize=1):
+                merge_telemetry(telemetry)
+                yield key, record
 
     @staticmethod
     def _as_requests(requests) -> list[DesignRequest]:

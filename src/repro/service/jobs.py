@@ -46,6 +46,10 @@ class Job:
         #: after every step, so a poll always sees a resumable snapshot
         #: even if the server dies mid-search.
         self.checkpoint: dict | None = None
+        #: request-scoped trace id minted at submission; every span the
+        #: job body produces (pool workers included) carries it, so an
+        #: exported Chrome trace can be filtered down to this job.
+        self.trace_id: str | None = None
         self._lock = threading.RLock()
         self._pause = threading.Event()
         self._finished = threading.Event()
@@ -119,12 +123,14 @@ class Job:
             return {"id": self.id, "kind": self.kind,
                     "status": self.status,
                     "created_s": self.created_s,
+                    "trace_id": self.trace_id,
                     "progress": dict(self.progress)}
 
     def to_dict(self, include_checkpoint: bool = True) -> dict:
         with self._lock:
             out = {"id": self.id, "kind": self.kind, "status": self.status,
                    "created_s": self.created_s,
+                   "trace_id": self.trace_id,
                    "started_s": self.started_s,
                    "finished_s": self.finished_s,
                    "progress": dict(self.progress),

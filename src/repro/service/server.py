@@ -16,7 +16,8 @@ Endpoints (see ``docs/serving.md`` for the full reference):
 =======  ====================  ===========================================
 method   path                  purpose
 =======  ====================  ===========================================
-GET      ``/healthz``          liveness + cache stats + job counts
+GET      ``/healthz``          liveness + tiered cache stats + job counts
+GET      ``/metrics``          Prometheus text exposition of all telemetry
 GET      ``/backends``         registered emitter families + option schemas
 POST     ``/generate``         one design, synchronously (cache-first)
 POST     ``/batch``            many designs -> job id
@@ -26,6 +27,15 @@ GET      ``/jobs/<id>``        full job status, result, checkpoint
 POST     ``/jobs/<id>/pause``  pause an exploration after its step
 POST     ``/jobs/<id>/resume`` resume a paused exploration
 =======  ====================  ===========================================
+
+Every ``POST /generate`` / ``/batch`` / ``/explore`` response carries a
+``trace_id``: the request-scoped id stitched through every span the
+request produces (pipeline phases, pool workers, job bodies), so one
+grep over an exported Chrome trace reconstructs one request's story.
+Telemetry lives in :mod:`repro.obs`; ``GET /metrics`` renders the
+process-wide registry (per-route latency histograms, cache tier
+hits/misses, phase timings, job-status gauges) in Prometheus text
+format.
 
 ``POST /generate`` and each entry of ``POST /batch`` accept a
 ``"backend"`` request field naming the emitter family (``verilog`` by
@@ -47,10 +57,13 @@ import asyncio
 import json
 import signal
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
 from ..dse.checkpoint import run_checkpointed, space_from_dict
+from ..obs import (get_logger, get_registry, new_trace_id, setup_logging,
+                   trace_context, trace_span)
 from .engine import BatchEngine
 from .jobs import JobRegistry, RegistryFull
 from .spec import DesignRequest, DesignResult
@@ -61,6 +74,35 @@ _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
                 500: "Internal Server Error", 503: "Service Unavailable"}
 _MAX_BODY = 64 * 1024 * 1024
+
+_HTTP_REQUESTS = get_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by normalized route and status",
+    ("route", "method", "status"))
+_HTTP_SECONDS = get_registry().histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by normalized route", ("route",))
+_GENERATE_PATH = get_registry().counter(
+    "repro_generate_path_total",
+    "how /generate answers were produced: memory-tier hits stay on the "
+    "event loop, everything else pays two executor handoffs", ("path",))
+_JOBS_GAUGE = get_registry().gauge(
+    "repro_jobs", "jobs in the registry by status", ("status",))
+
+#: routes with an embedded job id, normalized for metric labels so the
+#: label set stays bounded (no per-id time series)
+_JOB_ACTIONS = ("pause", "resume")
+
+
+def _route_label(path: str) -> str:
+    """Collapse ``/jobs/<id>[/<action>]`` to a bounded label."""
+    parts = path.strip("/").split("/")
+    if len(parts) >= 2 and parts[0] == "jobs":
+        if len(parts) == 2:
+            return "/jobs/{id}"
+        if len(parts) == 3 and parts[2] in _JOB_ACTIONS:
+            return f"/jobs/{{id}}/{parts[2]}"
+    return path
 
 
 class _BadRequest(ValueError):
@@ -144,11 +186,16 @@ class DesignServer:
     def __init__(self, engine: BatchEngine | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  step_evals: float = 1.0, max_jobs: int = 1024,
-                 reuse_port: bool = False):
+                 reuse_port: bool = False,
+                 slow_request_ms: float = 1000.0):
         self.engine = engine if engine is not None else BatchEngine()
         self.host = host
         self.port = port
         self.reuse_port = reuse_port
+        #: requests slower than this are logged at WARNING with their
+        #: route and trace id (0 disables the check)
+        self.slow_request_ms = slow_request_ms
+        self._log = get_logger("serve")
         #: default checkpoint step of `/explore` jobs, in
         #: full-model-equivalents (smaller = finer pause granularity)
         self.step_evals = step_evals
@@ -261,11 +308,18 @@ class DesignServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, headers, body
 
-    async def _respond(self, writer, status: int, payload: dict,
+    async def _respond(self, writer, status: int, payload,
                        keep_alive: bool) -> None:
-        data = json.dumps(payload).encode()
+        # A ``str`` payload is served verbatim as text (the Prometheus
+        # exposition of /metrics); everything else is JSON.
+        if isinstance(payload, str):
+            data = payload.encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode()
+            ctype = "application/json"
         head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(data)}\r\n"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"
                 f"\r\n\r\n")
@@ -277,25 +331,51 @@ class DesignServer:
     async def _dispatch(self, method: str, path: str,
                         body: bytes) -> tuple[int, dict]:
         path, _, query = path.partition("?")
+        route = _route_label(path)
+        t0 = time.perf_counter()
         try:
             data = json.loads(body.decode()) if body else {}
         except (ValueError, UnicodeDecodeError) as exc:
-            return 400, {"error": f"malformed JSON body: {exc}"}
-        try:
-            return await self._route(method, path, query, data)
-        except _BadRequest as exc:
-            return 400, {"error": str(exc)}
-        except RegistryFull as exc:
-            return 503, {"error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 — the server must not die
-            return 500, {"error": f"{type(exc).__name__}: {exc}",
-                         "traceback": traceback.format_exc()}
+            status, payload = 400, {"error": f"malformed JSON body: {exc}"}
+        else:
+            try:
+                status, payload = await self._route(method, path, query,
+                                                    data)
+            except _BadRequest as exc:
+                status, payload = 400, {"error": str(exc)}
+            except RegistryFull as exc:
+                status, payload = 503, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 — must not die
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}",
+                           "traceback": traceback.format_exc()}
+                self._log.error("500 on %s %s: %s", method, path, exc)
+        elapsed = time.perf_counter() - t0
+        _HTTP_SECONDS.labels(route=route).observe(elapsed)
+        _HTTP_REQUESTS.labels(route=route, method=method,
+                              status=str(status)).inc()
+        if (self.slow_request_ms
+                and elapsed * 1000.0 >= self.slow_request_ms):
+            trace_id = (payload.get("trace_id", "-")
+                        if isinstance(payload, dict) else "-")
+            self._log.warning(
+                "slow request: %s %s took %.1f ms (>= %.0f ms) "
+                "trace_id=%s", method, route, elapsed * 1000.0,
+                self.slow_request_ms, trace_id)
+        else:
+            self._log.debug("%s %s -> %d in %.1f ms", method, route,
+                            status, elapsed * 1000.0)
+        return status, payload
 
     async def _route(self, method, path, query, data) -> tuple[int, dict]:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET /healthz"}
             return 200, self._health()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics"}
+            return 200, self._metrics()
         if path == "/backends":
             if method != "GET":
                 return 405, {"error": "use GET /backends"}
@@ -331,8 +411,16 @@ class DesignServer:
                 "workers": self.engine.workers,
                 "backends": list(backend_names()),
                 "cache": (dict(cache.stats.as_dict(),
-                               root=str(cache.root))
+                               root=str(cache.root),
+                               tiers=cache.stats.tiers())
                           if cache is not None else None)}
+
+    def _metrics(self) -> str:
+        """The Prometheus text exposition of the process-wide registry
+        (gauges that describe current state are refreshed first)."""
+        for status, count in self.jobs.counts().items():
+            _JOBS_GAUGE.labels(status=status).set(count)
+        return get_registry().render()
 
     # -- endpoint handlers -------------------------------------------------
 
@@ -344,6 +432,7 @@ class DesignServer:
         if payload is None:
             payload = {k: v for k, v in data.items() if k != "include_rtl"}
         request = _request_from_body(payload)
+        trace_id = new_trace_id()
         # Warm fast path: answer *memory-tier* hits directly on the
         # event loop — such a hit is a dict lookup plus JSON, and
         # skipping the two executor-thread handoffs roughly halves warm
@@ -353,13 +442,24 @@ class DesignServer:
             key = request.spec_hash()
             record = self.engine.cache.get_memory(key)
             if record is not None:
+                _GENERATE_PATH.labels(path="event_loop").inc()
                 result = DesignResult.from_record(key, record)
-                return 200, _result_to_json(result,
-                                            include_rtl=include_rtl)
+                return 200, dict(
+                    _result_to_json(result, include_rtl=include_rtl),
+                    trace_id=trace_id)
+        _GENERATE_PATH.labels(path="executor").inc()
         loop = asyncio.get_running_loop()
-        result = await loop.run_in_executor(None, self.engine.submit,
-                                            request)
-        return 200, _result_to_json(result, include_rtl=include_rtl)
+        # contextvars do not follow work into executor threads, so the
+        # trace id rides along explicitly and is re-bound over there.
+        result = await loop.run_in_executor(
+            None, self._submit_traced, request, trace_id)
+        return 200, dict(_result_to_json(result, include_rtl=include_rtl),
+                         trace_id=trace_id)
+
+    def _submit_traced(self, request: DesignRequest,
+                       trace_id: str) -> DesignResult:
+        with trace_context(trace_id):
+            return self.engine.submit(request)
 
     def _handle_batch(self, data) -> tuple[int, dict]:
         if not isinstance(data, dict) or "requests" not in data:
@@ -374,9 +474,10 @@ class DesignServer:
             "workers": data.get("workers"),
             "n_requests": len(requests),
         })
+        job.trace_id = new_trace_id()
         self._submit(self._run_batch_job, job, requests)
         return 202, {"job": job.id, "status": job.status,
-                     "requests": len(requests)}
+                     "requests": len(requests), "trace_id": job.trace_id}
 
     def _handle_explore(self, data) -> tuple[int, dict]:
         from ..models import zoo
@@ -437,9 +538,11 @@ class DesignServer:
                               f"{sorted(OBJECTIVES)}")
         job = self.jobs.create("explore", params)
         job.checkpoint = checkpoint
+        job.trace_id = new_trace_id()
         self._submit(self._run_explore_job, job)
         return 202, {"job": job.id, "status": job.status,
-                     "resumed": checkpoint is not None}
+                     "resumed": checkpoint is not None,
+                     "trace_id": job.trace_id}
 
     def _handle_job(self, method, path, query) -> tuple[int, dict]:
         parts = path.strip("/").split("/")
@@ -492,9 +595,15 @@ class DesignServer:
             def progress(done, total, _result):
                 job.update_progress(done=done, total=total)
 
-            results = self.engine.generate_many(
-                requests, workers=job.params.get("workers"),
-                progress=progress)
+            # Job bodies run on executor threads, which never inherit
+            # the submitting request's context — re-bind the job's
+            # trace id so engine/pipeline spans land under it.
+            with trace_context(job.trace_id), \
+                    trace_span("job:batch", job=job.id,
+                               n_requests=len(requests)):
+                results = self.engine.generate_many(
+                    requests, workers=job.params.get("workers"),
+                    progress=progress)
             job.finish({
                 "results": [_result_to_json(r, include_rtl=include_rtl)
                             for r in results],
@@ -509,6 +618,11 @@ class DesignServer:
                      traceback.format_exc())
 
     def _run_explore_job(self, job) -> None:
+        with trace_context(job.trace_id), \
+                trace_span("job:explore", job=job.id):
+            self._explore_body(job)
+
+    def _explore_body(self, job) -> None:
         from ..models import zoo
 
         try:
@@ -586,15 +700,19 @@ def _engine_spec(engine: BatchEngine) -> dict:
     return spec
 
 
-def _serve_worker(engine_spec, host, port, step_evals) -> None:
+def _serve_worker(engine_spec, host, port, step_evals,
+                  log_level="warning",
+                  slow_request_ms=1000.0) -> None:
     """One SO_REUSEPORT sibling of a multi-process ``repro serve``."""
     from .cache import DesignCache
 
+    setup_logging(log_level)
     cache = (DesignCache(**engine_spec["cache"])
              if engine_spec["cache"] is not None else None)
     engine = BatchEngine(cache=cache, workers=engine_spec["workers"])
     server = DesignServer(engine=engine, host=host, port=port,
-                          step_evals=step_evals, reuse_port=True)
+                          step_evals=step_evals, reuse_port=True,
+                          slow_request_ms=slow_request_ms)
     try:
         asyncio.run(_serve_async(server))
     except KeyboardInterrupt:  # pragma: no cover — parent tears us down
@@ -603,7 +721,9 @@ def _serve_worker(engine_spec, host, port, step_evals) -> None:
 
 def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
           port: int = 8731, step_evals: float = 1.0,
-          processes: int = 1, quiet: bool = False) -> None:
+          processes: int = 1, quiet: bool = False,
+          log_level: str = "warning",
+          slow_request_ms: float = 1000.0) -> None:
     """Run the server until interrupted (the ``repro serve`` command).
 
     ``processes > 1`` forks that many SO_REUSEPORT siblings sharing the
@@ -613,11 +733,17 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
     *connection* (HTTP keep-alive pins a client to one sibling), so
     submit-then-poll over one connection works; cross-connection polling
     of a specific job is only guaranteed with ``processes=1``.
+
+    *log_level* configures the ``repro.*`` stdlib loggers (see
+    :func:`repro.obs.setup_logging`); requests slower than
+    *slow_request_ms* are logged at WARNING with their trace id.
     """
+    setup_logging(log_level)
     workers: list = []
     server = DesignServer(engine=engine, host=host, port=port,
                           step_evals=step_evals,
-                          reuse_port=processes > 1)
+                          reuse_port=processes > 1,
+                          slow_request_ms=slow_request_ms)
     if processes > 1:
         import multiprocessing
 
@@ -628,7 +754,8 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
         ctx = multiprocessing.get_context()
         workers = [ctx.Process(target=_serve_worker, daemon=True,
                                args=(_engine_spec(server.engine), host,
-                                     port, step_evals))
+                                     port, step_evals, log_level,
+                                     slow_request_ms))
                    for _ in range(processes - 1)]
 
     def announce(srv: DesignServer) -> None:
@@ -672,10 +799,12 @@ class ServerThread:
 
     def __init__(self, engine: BatchEngine | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 step_evals: float = 1.0, max_jobs: int = 1024):
+                 step_evals: float = 1.0, max_jobs: int = 1024,
+                 slow_request_ms: float = 1000.0):
         self.server = DesignServer(engine=engine, host=host, port=port,
                                    step_evals=step_evals,
-                                   max_jobs=max_jobs)
+                                   max_jobs=max_jobs,
+                                   slow_request_ms=slow_request_ms)
         self._ready = threading.Event()
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None

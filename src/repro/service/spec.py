@@ -40,6 +40,8 @@ from dataclasses import dataclass, field, fields
 from ..backend import BackendOptions
 from ..backends import DEFAULT_BACKEND, backend_names, get_backend
 from ..core.frontend import FrontendConfig
+from ..obs import (PHASE_ADG, PHASE_DESIGN, PHASE_DESIGN_LOAD, PHASE_EMIT,
+                   PHASE_SCHEDULE, timed_phase, trace_span)
 from ..serialize import canonical_dumps
 
 __all__ = ["DesignRequest", "DesignResult", "execute_request",
@@ -264,8 +266,9 @@ class DesignResult:
     elapsed_s: float = 0.0
     #: wall-clock seconds per staged phase of the *original* cold run
     #: (``adg``, ``schedule``, ``emit``, plus ``design_load`` when the
-    #: scheduled design came from the intermediate cache) — empty for
-    #: records written before the pipeline was staged
+    #: scheduled design came from the intermediate cache — the
+    #: :mod:`repro.obs.phases` vocabulary) — empty for records written
+    #: before the pipeline was staged
     phases: dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
     error: str | None = None
@@ -337,38 +340,36 @@ def _scheduled_design(request: DesignRequest, cache,
 
     design_key = request.design_key()
     if cache is not None:
-        live = cache.get_live("design", design_key)
+        live = cache.get_live(PHASE_DESIGN, design_key)
         if live is not None:
             return live
-        record = cache.get_phase("design", design_key)
+        record = cache.get_phase(PHASE_DESIGN, design_key)
         if (isinstance(record, dict)
                 and record.get("kind") == "phase-design-v1"):
-            t0 = time.perf_counter()
-            design = design_from_dict(record["design"])
-            phases["design_load"] = time.perf_counter() - t0
+            with timed_phase(PHASE_DESIGN_LOAD, phases,
+                             design_key=design_key[:12]):
+                design = design_from_dict(record["design"])
             loaded = (design, record["design"], record["summary"])
-            cache.put_live("design", design_key, loaded)
+            cache.put_live(PHASE_DESIGN, design_key, loaded)
             return loaded
 
     adg_key = request.adg_key()
-    adg = cache.get_live("adg", adg_key) if cache is not None else None
+    adg = cache.get_live(PHASE_ADG, adg_key) if cache is not None else None
     if adg is None:
-        t0 = time.perf_counter()
-        adg = build_adg(request.build_dataflows(), request.frontend)
-        phases["adg"] = time.perf_counter() - t0
+        with timed_phase(PHASE_ADG, phases, kernel=request.kernel):
+            adg = build_adg(request.build_dataflows(), request.frontend)
         if cache is not None:
-            cache.put_live("adg", adg_key, adg)
-    t0 = time.perf_counter()
-    design = run_backend(generate(adg), request.options)
-    phases["schedule"] = time.perf_counter() - t0
+            cache.put_live(PHASE_ADG, adg_key, adg)
+    with timed_phase(PHASE_SCHEDULE, phases, kernel=request.kernel):
+        design = run_backend(generate(adg), request.options)
     design_dict = design_to_dict(design)
     summary = design_summary(design)
     built = (design, design_dict, summary)
     if cache is not None:
-        cache.put_phase("design", design_key,
+        cache.put_phase(PHASE_DESIGN, design_key,
                         {"kind": "phase-design-v1",
                          "design": design_dict, "summary": summary})
-        cache.put_live("design", design_key, built)
+        cache.put_live(PHASE_DESIGN, design_key, built)
     return built
 
 
@@ -392,16 +393,18 @@ def execute_request(request: DesignRequest,
     spec_hash = request.spec_hash()
     phases: dict[str, float] = {}
     try:
-        family = get_backend(request.backend)
-        design, design_dict, summary = _scheduled_design(request, cache,
-                                                         phases)
-        t0 = time.perf_counter()
-        context = EmitContext(cache=cache, request=request,
-                              design_key=request.design_key())
-        artifacts = emit_artifacts(family, design,
-                                   module_name=request.module,
-                                   context=context)
-        phases["emit"] = time.perf_counter() - t0
+        with trace_span("request", kernel=request.kernel,
+                        backend=request.backend,
+                        spec_hash=spec_hash[:12]):
+            family = get_backend(request.backend)
+            design, design_dict, summary = _scheduled_design(
+                request, cache, phases)
+            with timed_phase(PHASE_EMIT, phases, family=family.name):
+                context = EmitContext(cache=cache, request=request,
+                                      design_key=request.design_key())
+                artifacts = emit_artifacts(family, design,
+                                           module_name=request.module,
+                                           context=context)
         primary = next(iter(artifacts), "")
         return DesignResult(
             spec_hash=spec_hash,
