@@ -1,6 +1,6 @@
 """Cold-path latency: vectorized simulator + staged compilation.
 
-Two acceptance bars, both from the staged-cold-path work:
+Three acceptance bars from the staged-cold-path and batch-planner work:
 
 1. **simulator** — the vectorized step program must be >= 10x faster
    than the reference per-cycle interpreter on a representative design
@@ -9,7 +9,11 @@ Two acceptance bars, both from the staged-cold-path work:
    traffic only in its emitter backend must be >= 3x faster end to end
    than a fully uncached run, because the scheduled design (and the
    golden simulation vectors) come from the content-addressed
-   intermediate tier.
+   intermediate tier;
+3. **batch planner** — a 1000-request mixed-backend batch over 60
+   distinct scheduled designs must execute at most 70 schedule phases
+   (measured by the planner/phase metrics counters): duplicates collapse
+   by spec hash, backend variants by ``design_key``.
 
 The table reports per-phase latency (front end / §V passes / emission)
 for cold, staged-warm (second backend), and fully-warm (exact replay)
@@ -24,6 +28,7 @@ from conftest import record_table
 from repro.backend import generate, run_backend
 from repro.core import kernels
 from repro.core.frontend import build_adg
+from repro.obs import get_registry
 from repro.service import BatchEngine, DesignCache
 from repro.service.spec import DesignRequest, execute_request
 from repro.sim.dag_sim import Simulator, make_input
@@ -132,3 +137,71 @@ def test_cold_path_latency(benchmark, tmp_path):
             backend="hls_c", module=f"bench_top_{variant[0]}", **SPEC))
 
     benchmark(staged_request)
+
+
+N_DESIGNS = 60
+N_REQUESTS = 1000
+MAX_SCHEDULES = 70
+
+
+def test_batch_planner_dedup(tmp_path):
+    """Acceptance bar 3: the phase-aware planner collapses a 1000-
+    request mixed-backend batch (60 distinct designs x verilog/hls_c,
+    padded with exact duplicates) to one schedule phase per design."""
+    # 60 scheduling-distinct designs on one tiny array: the workload
+    # bound is part of design_key, the backend is not.
+    designs = [dict(kernel="gemm", dataflows=("KJ",), array=(2, 2),
+                    bounds=(("k", 8 + i),)) for i in range(N_DESIGNS)]
+    unique = [DesignRequest(backend=backend, **spec)
+              for spec in designs for backend in ("verilog", "hls_c")]
+    requests = [unique[i % len(unique)] for i in range(N_REQUESTS)]
+
+    engine = BatchEngine(cache=DesignCache(root=tmp_path / "plan-cache"))
+    plan = engine.plan(requests)
+    assert plan.n_schedules == N_DESIGNS, plan.summary()
+
+    reg = get_registry()
+    schedules0 = reg.value("repro_phase_seconds", phase="schedule")
+    groups0 = reg.value("repro_planner_groups_total")
+    start = time.perf_counter()
+    results = engine.generate_many(requests, workers=2)
+    planned_s = time.perf_counter() - start
+    schedules = reg.value("repro_phase_seconds",
+                          phase="schedule") - schedules0
+    groups = reg.value("repro_planner_groups_total") - groups0
+
+    assert all(r.ok for r in results)
+    assert len(results) == N_REQUESTS
+
+    # the unplanned baseline: same batch, same worker count, own cache,
+    # plan=False — every unique cold spec goes to the pool on its own,
+    # so racing workers may duplicate schedule work the planner would
+    # have shared (the disk phase tier catches only what lands first)
+    baseline = BatchEngine(cache=DesignCache(root=tmp_path / "base"))
+    schedules1 = reg.value("repro_phase_seconds", phase="schedule")
+    start = time.perf_counter()
+    base_results = baseline.generate_many(requests, workers=2,
+                                          plan=False)
+    unplanned_s = time.perf_counter() - start
+    base_schedules = reg.value("repro_phase_seconds",
+                               phase="schedule") - schedules1
+    assert all(r.ok for r in base_results)
+
+    rows = [
+        f"batch: {N_REQUESTS} requests = {N_DESIGNS} designs x 2 backends "
+        f"+ {N_REQUESTS - len(unique)} duplicates",
+        f"plan: {plan.summary()}",
+        "",
+        f"  planned   (workers=2): {schedules:4.0f} schedule phases "
+        f"({groups:.0f} planner groups)  {planned_s * 1e3:9.1f}ms",
+        f"  unplanned (workers=2): {base_schedules:4.0f} schedule phases"
+        f"{'':21s}{unplanned_s * 1e3:9.1f}ms",
+    ]
+    record_table(
+        "batch_planner",
+        "Phase-aware batch planner: schedules per mixed-backend batch",
+        rows)
+
+    assert schedules <= MAX_SCHEDULES, \
+        f"{schedules:.0f} schedule phases for {N_DESIGNS} designs " \
+        f"(bar: <= {MAX_SCHEDULES})"

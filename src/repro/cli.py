@@ -189,6 +189,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from .obs import new_trace_id, trace_context
 
+    if args.plan_summary:
+        print(f"plan: {engine.plan(requests).summary()}")
+
     trace_id = new_trace_id()
     start = time.perf_counter()
     with trace_context(trace_id):
@@ -489,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--output-dir",
                      help="write each design's emitted artifacts plus "
                      "<hash>.json here")
+    bat.add_argument("--plan-summary", action="store_true",
+                     help="print the batch planner's dry run before "
+                     "executing: duplicates, cache hits, and how many "
+                     "schedule phases the cold remainder collapses to")
     bat.add_argument("--show-traceback", action="store_true",
                      help="print the full captured traceback of each "
                      "failed request, not just the error line")

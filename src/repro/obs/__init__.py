@@ -36,8 +36,9 @@ from .logs import LOG_LEVELS, get_logger, setup_logging
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, get_registry, reset_registry)
 from .phases import (CACHE_PHASE_TIERS, PHASE_ADG, PHASE_DESIGN,
-                     PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_SCHEDULE,
-                     PHASE_SIM, PIPELINE_PHASES)
+                     PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_FLIGHT_WAIT,
+                     PHASE_REQUEST, PHASE_SCHEDULE, PHASE_SIM,
+                     PIPELINE_PHASES)
 from .tracing import (Span, Tracer, current_trace_id, export_chrome_trace,
                       get_tracer, load_chrome_trace, new_trace_id,
                       trace_context, trace_span)
@@ -49,7 +50,8 @@ __all__ = [
     "current_trace_id", "trace_context", "export_chrome_trace",
     "load_chrome_trace",
     "PHASE_ADG", "PHASE_SCHEDULE", "PHASE_EMIT", "PHASE_DESIGN_LOAD",
-    "PHASE_DESIGN", "PHASE_SIM", "PIPELINE_PHASES", "CACHE_PHASE_TIERS",
+    "PHASE_FLIGHT_WAIT", "PHASE_REQUEST", "PHASE_DESIGN", "PHASE_SIM",
+    "PIPELINE_PHASES", "CACHE_PHASE_TIERS",
     "setup_logging", "get_logger", "LOG_LEVELS",
     "timed_phase", "telemetry_snapshot", "merge_telemetry",
 ]

@@ -225,6 +225,26 @@ class MetricsRegistry:
         return self._family("histogram", name, help_text, labelnames,
                             buckets)
 
+    # -- point reads (tests, benchmarks, planner assertions) ---------------
+
+    def value(self, name: str, **labels) -> float:
+        """One sample, by family name and exact label values: a
+        counter's or gauge's current value, a histogram's observation
+        *count*.  Unregistered families and never-touched children read
+        as ``0.0`` — callers diff before/after around a region instead
+        of special-casing first use."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            key = tuple(str(labels.get(k, "")) for k in family.labelnames)
+            child = family._children.get(key)
+            if child is None:
+                return 0.0
+            if family.kind == "histogram":
+                return float(child.count)
+            return float(child.value)
+
     # -- snapshots (picklable; the pool-worker merge protocol) -------------
 
     def snapshot(self) -> dict:

@@ -15,8 +15,8 @@ from .api import (cache_stats, clear_cache, explore_cached, export_trace,
                   submit)
 from .cache import CacheStats, DesignCache
 from .client import ServiceClient, ServiceError
-from .engine import (BatchEngine, evaluate_archs, model_fingerprint,
-                     requests_from_space)
+from .engine import (BatchEngine, BatchPlan, PlanGroup, evaluate_archs,
+                     model_fingerprint, requests_from_space)
 from .jobs import Job, JobRegistry
 from .server import DesignServer, ServerThread, serve
 from .spec import DesignRequest, DesignResult, execute_request
@@ -24,8 +24,8 @@ from .spec import DesignRequest, DesignResult, execute_request
 __all__ = [
     "DesignRequest", "DesignResult", "execute_request",
     "DesignCache", "CacheStats",
-    "BatchEngine", "evaluate_archs", "requests_from_space",
-    "model_fingerprint",
+    "BatchEngine", "BatchPlan", "PlanGroup",
+    "evaluate_archs", "requests_from_space", "model_fingerprint",
     "get_engine", "submit", "generate_many", "explore_cached",
     "cache_stats", "clear_cache", "list_backends",
     "metrics_text", "export_trace",

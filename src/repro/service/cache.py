@@ -25,6 +25,18 @@ apply uniformly.  A small **live tier**
 unserializable in-process objects (front-end ADGs, reloaded designs)
 for the duration of a burst — it never touches disk and dies with the
 process.
+
+Beside the live tier sits the **in-flight registry**
+(:attr:`DesignCache.flights`, a :class:`SingleFlight` table): caching
+alone cannot deduplicate *concurrent* identical work — two server
+threads that miss the cache at the same instant both start computing —
+so the pipeline routes each phase computation through
+``flights.run(phase, key, fn)``, where the first caller becomes the
+leader and every concurrent caller for the same ``(phase, key)`` waits
+on the one in-flight computation and shares its result (failures
+propagate to all waiters; the slot is always released so a retry
+recomputes).  Like the live tier, it is per-process: processes
+deduplicate through the disk tier's content-addressed records instead.
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ import os
 import pathlib
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -47,7 +60,8 @@ except ImportError:  # pragma: no cover — non-POSIX fallback
 from ..obs import get_registry
 from ..serialize import canonical_dumps
 
-__all__ = ["DesignCache", "CacheStats", "default_cache_dir"]
+__all__ = ["DesignCache", "CacheStats", "SingleFlight",
+           "default_cache_dir"]
 
 _FORMAT = "lego-cache-v1"
 
@@ -65,6 +79,98 @@ _EVICTIONS = get_registry().counter(
 _CORRUPT = get_registry().counter(
     "repro_cache_corrupt_total",
     "corrupted design-cache entries dropped")
+_FLIGHTS = get_registry().counter(
+    "repro_singleflight_total",
+    "single-flight outcomes by phase: lead = computed, wait = joined "
+    "another caller's in-flight computation, reclaim = timed out "
+    "waiting and recomputed", ("phase", "outcome"))
+_FLIGHT_WAIT_SECONDS = get_registry().histogram(
+    "repro_singleflight_wait_seconds",
+    "seconds spent joined to another caller's in-flight computation",
+    ("phase",))
+
+
+class _Flight:
+    """One in-flight computation: its completion event plus outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Process-wide dedup of concurrent identical computations.
+
+    ``run(phase, key, fn)`` executes *fn* at most once per ``(phase,
+    key)`` at a time: the first caller (the *leader*) computes; every
+    caller that arrives while that computation is in flight blocks and
+    receives the same result.  The leader publishes its outcome —
+    result or exception, ``BaseException`` included, so a leader killed
+    mid-flight still releases its waiters — and removes the slot
+    *before* waking them, so a later retry always recomputes rather
+    than being served a stale failure.
+
+    *timeout* (seconds) bounds how long a waiter trusts its leader: a
+    waiter that times out reclaims the slot and computes for itself
+    (duplicated work, never a deadlock).  ``None`` waits indefinitely.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[tuple[str, str], _Flight] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def run(self, phase: str, key: str, fn,
+            timeout: float | None = None):
+        """``(fn(), True)`` as the leader, or ``(shared result,
+        False)`` after waiting on another caller's flight.  A leader's
+        exception is re-raised in every waiter."""
+        slot = (phase, key)
+        while True:
+            with self._lock:
+                flight = self._flights.get(slot)
+                lead = flight is None
+                if lead:
+                    flight = _Flight()
+                    self._flights[slot] = flight
+            if lead:
+                try:
+                    flight.result = fn()
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    # Release the slot before waking waiters: anyone
+                    # arriving from here on starts a fresh computation
+                    # (a failed flight must never be joinable).
+                    with self._lock:
+                        if self._flights.get(slot) is flight:
+                            del self._flights[slot]
+                    flight.done.set()
+                _FLIGHTS.labels(phase=phase, outcome="lead").inc()
+                return flight.result, True
+            t0 = time.perf_counter()
+            if not flight.done.wait(timeout):
+                # Leader hung (or was killed without unwinding): stop
+                # trusting it.  Drop the slot if it is still ours and
+                # loop — we (or whoever wins the race) recompute.
+                with self._lock:
+                    if self._flights.get(slot) is flight:
+                        del self._flights[slot]
+                _FLIGHTS.labels(phase=phase, outcome="reclaim").inc()
+                continue
+            _FLIGHTS.labels(phase=phase, outcome="wait").inc()
+            _FLIGHT_WAIT_SECONDS.labels(phase=phase).observe(
+                time.perf_counter() - t0)
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, False
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -138,6 +244,9 @@ class DesignCache:
         self.root = pathlib.Path(self.root)
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._live: OrderedDict[str, object] = OrderedDict()
+        #: in-flight registry: concurrent identical phase computations
+        #: are deduplicated here before they ever reach the tiers above
+        self.flights = SingleFlight()
         # Guards the memory LRU and the stats counters: without it, two
         # server threads can race a membership check against an
         # eviction and crash on move_to_end(missing key).

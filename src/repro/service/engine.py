@@ -1,11 +1,24 @@
-"""Batch-generation engine: cache-first, multiprocessing fan-out.
+"""Batch-generation engine: cache-first, phase-aware, parallel.
 
 ``generate_many`` takes a list of :class:`DesignRequest` (or a whole
 :class:`~repro.dse.explorer.DesignSpace`), answers what it can from the
-cache, deduplicates identical requests within the batch, and fans the
-remaining cold work across a worker pool.  Per-request failures are
-captured in the result, never raised — a thousand-design sweep must not
-die on design #713.
+cache, deduplicates identical requests within the batch, and **plans**
+the remaining cold work as a DAG over the staged pipeline's phase keys:
+cold specs are grouped by ``design_key`` (the identity of the scheduled
+design), only one *leader* per distinct design fans out to the worker
+pool, and every other member of the group — a backend/module *variant*
+of the same scheduled design — is emitted in-process afterwards from
+the phase records the leader left in the shared cache.  A sweep of
+1000 requests over 60 distinct designs × several backends therefore
+pays ~60 schedule phases, not 1000.  :meth:`BatchEngine.plan` exposes
+the same grouping as a dry-run :class:`BatchPlan` (the ``repro batch
+--plan-summary`` surface and the serving job table's ``plan`` field).
+
+Per-request failures are captured in the result, never raised — a
+thousand-design sweep must not die on design #713.  A leader that
+fails *before* its design phase completes poisons exactly its own
+group (each member carries the failure traceback); sibling groups are
+unaffected, and nothing broken is cached, so a retry recomputes.
 
 The same engine also memoizes DSE point evaluations
 (:func:`evaluate_archs`), which is how ``dse.explorer.explore`` gets its
@@ -21,16 +34,16 @@ import multiprocessing
 from collections import Counter
 from typing import Callable, Iterable, Sequence
 
-from ..obs import (current_trace_id, get_registry, merge_telemetry,
-                   reset_registry, telemetry_snapshot, trace_context,
-                   trace_span)
+from ..obs import (PHASE_DESIGN, current_trace_id, get_registry,
+                   merge_telemetry, reset_registry, telemetry_snapshot,
+                   trace_context, trace_span)
 from ..obs.tracing import get_tracer
 from ..serialize import canonical_dumps
 from .cache import DesignCache
 from .spec import DesignRequest, DesignResult, execute_request
 
-__all__ = ["BatchEngine", "requests_from_space", "evaluate_archs",
-           "model_fingerprint"]
+__all__ = ["BatchEngine", "BatchPlan", "PlanGroup",
+           "requests_from_space", "evaluate_archs", "model_fingerprint"]
 
 #: DSE dataflow names → (kernel, generator dataflow names).
 _DSE_DATAFLOW_MAP = {
@@ -119,9 +132,84 @@ _DESIGNS = get_registry().counter(
     "design requests resolved by the batch engine",
     ("source", "outcome"))
 
+_PLAN_GROUPS = get_registry().counter(
+    "repro_planner_groups_total",
+    "distinct scheduled-design groups the batch planner fanned out "
+    "(one schedule phase each)")
+
+_PLAN_REQUESTS = get_registry().counter(
+    "repro_planner_requests_total",
+    "cold unique specs routed by the batch planner: leader = carries "
+    "its group's schedule phase to the pool, variant = emitted "
+    "in-process from the leader's shared phase records",
+    ("role",))
+
+
+@dataclasses.dataclass
+class PlanGroup:
+    """One distinct scheduled design in a :class:`BatchPlan`: the
+    *leader* pays the ``schedule`` phase (and goes to the worker pool);
+    the *variants* are backend/module re-emissions of the same
+    scheduled design, run in-process from the leader's phase records."""
+
+    design_key: str
+    leader: DesignRequest
+    variants: list[DesignRequest] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"design_key": self.design_key,
+                "leader": self.leader.spec_hash(),
+                "variants": [v.spec_hash() for v in self.variants]}
+
+
+@dataclasses.dataclass
+class BatchPlan:
+    """The planner's view of one batch before any execution: how many
+    requests collapse to unique specs, how many of those the cache
+    already answers, and how the cold remainder groups by
+    ``design_key`` — i.e. how many schedule phases the batch will
+    actually pay."""
+
+    n_requests: int          # as submitted, duplicates included
+    n_unique: int            # distinct spec hashes
+    n_cached: int            # unique specs the cache already answers
+    groups: list[PlanGroup]  # cold work, one group per design_key
+
+    @property
+    def n_duplicates(self) -> int:
+        return self.n_requests - self.n_unique
+
+    @property
+    def n_cold(self) -> int:
+        return sum(1 + len(g.variants) for g in self.groups)
+
+    @property
+    def n_schedules(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_variants(self) -> int:
+        return self.n_cold - len(self.groups)
+
+    def to_dict(self) -> dict:
+        return {"n_requests": self.n_requests, "n_unique": self.n_unique,
+                "n_duplicates": self.n_duplicates,
+                "n_cached": self.n_cached, "n_cold": self.n_cold,
+                "n_schedules": self.n_schedules,
+                "n_variants": self.n_variants}
+
+    def summary(self) -> str:
+        return (f"{self.n_requests} requests -> {self.n_unique} unique "
+                f"specs ({self.n_duplicates} in-batch duplicates), "
+                f"{self.n_cached} cached; {self.n_cold} cold in "
+                f"{self.n_schedules} design groups: "
+                f"{self.n_schedules} schedules + "
+                f"{self.n_variants} shared-design emits")
+
 
 class BatchEngine:
-    """Cache-consulting, parallel executor for design requests."""
+    """Cache-consulting, phase-aware, parallel executor for design
+    requests."""
 
     def __init__(self, cache: DesignCache | None = None,
                  workers: int | None = None):
@@ -133,16 +221,61 @@ class BatchEngine:
     def submit(self, request: DesignRequest) -> DesignResult:
         return self.generate_many([request])[0]
 
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, requests) -> BatchPlan:
+        """Dry-run the planner: dedup by spec hash, test cache
+        membership (without touching hit/miss stats or LRU order), and
+        group the cold remainder by ``design_key``.  This is exactly
+        the grouping :meth:`generate_many` executes."""
+        requests = self._as_requests(requests)
+        unique: dict[str, DesignRequest] = {}
+        for request in requests:
+            unique.setdefault(request.spec_hash(), request)
+        cold = [r for key, r in unique.items()
+                if self.cache is None or key not in self.cache]
+        return BatchPlan(
+            n_requests=len(requests), n_unique=len(unique),
+            n_cached=len(unique) - len(cold),
+            groups=self._group_by_design(cold))
+
+    def _group_by_design(self, cold: Sequence[DesignRequest]
+                         ) -> list[PlanGroup]:
+        """Cold specs grouped by scheduled-design identity; the first
+        request seen for each ``design_key`` leads its group.  Without
+        a cache there is nowhere to share phase records through, so
+        every request leads a group of one."""
+        if self.cache is None:
+            return [PlanGroup(r.design_key(), r) for r in cold]
+        groups: dict[str, PlanGroup] = {}
+        for request in cold:
+            key = request.design_key()
+            group = groups.get(key)
+            if group is None:
+                groups[key] = PlanGroup(key, request)
+            else:
+                group.variants.append(request)
+        return list(groups.values())
+
     # -- batch -------------------------------------------------------------
 
     def generate_many(self, requests,
                       workers: int | None = None,
                       progress: Callable[[int, int, DesignResult], None]
-                      | None = None) -> list[DesignResult]:
+                      | None = None,
+                      plan: bool = True) -> list[DesignResult]:
         """Generate every request, cache-first; results in input order.
 
         *requests* may be an iterable of :class:`DesignRequest` or a
         ``DesignSpace`` (translated via :func:`requests_from_space`).
+
+        With *plan* (the default), cold specs are grouped by
+        ``design_key``: one leader per distinct scheduled design fans
+        out (to the pool when ``workers > 1``), then its group's
+        backend/module variants are emitted in-process from the phase
+        records the leader left in the shared cache.  ``plan=False``
+        executes every cold spec independently — the baseline the
+        planner tests compare against byte-for-byte.
         """
         requests = self._as_requests(requests)
         workers = workers if workers is not None else self.workers
@@ -165,6 +298,13 @@ class BatchEngine:
                 if progress is not None:
                     progress(done, total, result)
 
+        def resolve(result: DesignResult) -> None:
+            resolved[result.spec_hash] = result
+            if (self.cache is not None and result.ok
+                    and not result.from_cache):
+                self.cache.put(result.spec_hash, result.to_record())
+            report(result)
+
         with trace_span("batch", n_requests=total, workers=workers):
             # 1. cache pass + in-batch dedup
             cold: list[DesignRequest] = []
@@ -181,16 +321,57 @@ class BatchEngine:
                     cold.append(req)
                     cold_keys.add(key)
 
-            # 2. fan the cold set out
-            for key, record in self._execute(cold, workers):
+            # 2. plan: group cold specs by scheduled-design identity
+            if plan:
+                groups = self._group_by_design(cold)
+            else:
+                groups = [PlanGroup(r.design_key(), r) for r in cold]
+            variants_of = {g.leader.spec_hash(): g.variants
+                           for g in groups}
+            n_variants = sum(len(g.variants) for g in groups)
+            if plan and cold:
+                _PLAN_GROUPS.inc(len(groups))
+                _PLAN_REQUESTS.labels(role="leader").inc(len(groups))
+                if n_variants:
+                    _PLAN_REQUESTS.labels(role="variant").inc(n_variants)
+                with trace_span("plan", n_cold=len(cold),
+                                n_groups=len(groups),
+                                n_variants=n_variants):
+                    pass  # instant span: records the plan in the trace
+
+            # 3. fan only the group leaders out; as each leader lands,
+            # emit its variants in-process from the shared phase records
+            for key, record in self._execute(
+                    [g.leader for g in groups], workers):
                 result = DesignResult.from_record(key, record,
                                                   from_cache=False)
-                resolved[key] = result
-                if self.cache is not None and result.ok:
-                    self.cache.put(key, record)
-                report(result)
+                resolve(result)
+                for variant in variants_of.get(key, ()):
+                    resolve(self._run_variant(variant, result))
 
         return [resolved[key] for key in hashes]
+
+    def _run_variant(self, variant: DesignRequest,
+                     leader: DesignResult) -> DesignResult:
+        """One non-leader member of a design group.  By the time this
+        runs the leader has (on success) left the group's scheduled
+        design in the cache's phase/live tiers, so ``execute_request``
+        here pays for emission alone.  If the leader failed *before*
+        its design phase completed, the shared schedule itself is
+        broken: propagate the leader's failure to the variant instead
+        of re-scheduling a known-bad design once per backend."""
+        if not leader.ok and not self._design_available(variant):
+            return DesignResult(spec_hash=variant.spec_hash(),
+                                request=variant, error=leader.error,
+                                traceback=leader.traceback)
+        return execute_request(variant, cache=self.cache)
+
+    def _design_available(self, request: DesignRequest) -> bool:
+        key = request.design_key()
+        return (self.cache is not None
+                and (self.cache.get_live(PHASE_DESIGN, key) is not None
+                     or self.cache.get_phase(PHASE_DESIGN, key)
+                     is not None))
 
     def _execute(self, cold: Sequence[DesignRequest],
                  workers: int) -> Iterable[tuple[str, dict]]:

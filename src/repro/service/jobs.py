@@ -50,6 +50,10 @@ class Job:
         #: job body produces (pool workers included) carries it, so an
         #: exported Chrome trace can be filtered down to this job.
         self.trace_id: str | None = None
+        #: the batch planner's dry-run summary (``BatchPlan.to_dict()``)
+        #: for a `/batch` job — recorded before execution starts, so a
+        #: poller can see how much schedule work the batch will pay.
+        self.plan: dict | None = None
         self._lock = threading.RLock()
         self._pause = threading.Event()
         self._finished = threading.Event()
@@ -124,6 +128,7 @@ class Job:
                     "status": self.status,
                     "created_s": self.created_s,
                     "trace_id": self.trace_id,
+                    "plan": self.plan,
                     "progress": dict(self.progress)}
 
     def to_dict(self, include_checkpoint: bool = True) -> dict:
@@ -131,6 +136,7 @@ class Job:
             out = {"id": self.id, "kind": self.kind, "status": self.status,
                    "created_s": self.created_s,
                    "trace_id": self.trace_id,
+                   "plan": self.plan,
                    "started_s": self.started_s,
                    "finished_s": self.finished_s,
                    "progress": dict(self.progress),

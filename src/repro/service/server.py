@@ -601,6 +601,10 @@ class DesignServer:
             with trace_context(job.trace_id), \
                     trace_span("job:batch", job=job.id,
                                n_requests=len(requests)):
+                # Record the planner's dry run before executing, so a
+                # poller sees how the batch collapses (duplicates,
+                # cache hits, schedule groups) while it is running.
+                job.plan = self.engine.plan(requests).to_dict()
                 results = self.engine.generate_many(
                     requests, workers=job.params.get("workers"),
                     progress=progress)
@@ -609,6 +613,7 @@ class DesignServer:
                             for r in results],
                 "ok": sum(r.ok for r in results),
                 "from_cache": sum(r.from_cache for r in results),
+                "plan": job.plan,
                 "failed": [{"spec_hash": r.spec_hash, "error": r.error,
                             "traceback": r.traceback}
                            for r in results if not r.ok],

@@ -12,8 +12,9 @@ import threading
 import pytest
 
 from repro.obs import (CACHE_PHASE_TIERS, PHASE_ADG, PHASE_DESIGN,
-                       PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_SCHEDULE,
-                       PHASE_SIM, PIPELINE_PHASES, MetricsRegistry,
+                       PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_FLIGHT_WAIT,
+                       PHASE_SCHEDULE, PHASE_SIM, PIPELINE_PHASES,
+                       MetricsRegistry,
                        current_trace_id, export_chrome_trace, get_registry,
                        get_tracer, load_chrome_trace, new_trace_id,
                        timed_phase, trace_context, trace_span)
@@ -212,9 +213,9 @@ class TestTracing:
         # and on-disk record kinds; changing them silently invalidates
         # every warm cache.
         assert (PHASE_ADG, PHASE_SCHEDULE, PHASE_EMIT,
-                PHASE_DESIGN_LOAD) == PIPELINE_PHASES
+                PHASE_DESIGN_LOAD, PHASE_FLIGHT_WAIT) == PIPELINE_PHASES
         assert PIPELINE_PHASES == ("adg", "schedule", "emit",
-                                   "design_load")
+                                   "design_load", "flight_wait")
         assert (PHASE_ADG, PHASE_DESIGN, PHASE_SIM) == CACHE_PHASE_TIERS
         assert CACHE_PHASE_TIERS == ("adg", "design", "sim")
 
