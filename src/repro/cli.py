@@ -14,7 +14,10 @@ Commands
                pluggable search strategy (``--strategy``/``--max-evals``);
 ``cache``      inspect, list, or clear the content-addressed design cache;
 ``serve``      run the asyncio HTTP front end (generate/batch/explore as
-               a long-lived service with pausable exploration jobs);
+               a long-lived service with pausable, journaled jobs that
+               survive restarts);
+``route``      run a fleet router fanning requests across several
+               ``serve`` backends by spec-hash shard;
 ``metrics``    print telemetry as Prometheus text (this process's
                registry, or a running server's ``GET /metrics``);
 ``trace``      summarize an exported Chrome/Perfetto trace file.
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 
@@ -36,7 +40,14 @@ def _build_engine(args: argparse.Namespace):
     if getattr(args, "no_cache", False):
         return BatchEngine(cache=None, workers=workers)
     cache_dir = getattr(args, "cache_dir", None)
-    cache = DesignCache(root=cache_dir) if cache_dir else DesignCache()
+    shards = getattr(args, "cache_shards", 0) or 0
+    if shards > 1:
+        from .service.cache import default_cache_dir, shard_roots
+
+        base = pathlib.Path(cache_dir) if cache_dir else default_cache_dir()
+        cache = DesignCache(root=shard_roots(base, shards))
+    else:
+        cache = DesignCache(root=cache_dir) if cache_dir else DesignCache()
     return BatchEngine(cache=cache, workers=workers)
 
 
@@ -255,6 +266,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     serve(engine=_build_engine(args), host=args.host, port=args.port,
           step_evals=args.step_evals, processes=args.processes,
           log_level=args.log_level,
+          slow_request_ms=args.slow_request_ms,
+          persist=not args.no_persist_jobs)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .service.router import route
+
+    route(backends=args.backend, host=args.host, port=args.port,
+          log_level=args.log_level, timeout=args.timeout,
           slow_request_ms=args.slow_request_ms)
     return 0
 
@@ -530,8 +551,40 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="MS",
                      help="log a WARNING (with route and trace id) for "
                      "requests slower than this; 0 disables")
+    srv.add_argument("--cache-shards", type=int, default=0, metavar="N",
+                     help="fan the disk cache across N shard-NN/ "
+                     "subdirectories of the cache dir, keyed by spec "
+                     "hash prefix (eviction locks per shard; pairs with "
+                     "'repro route' sharding)")
+    srv.add_argument("--no-persist-jobs", action="store_true",
+                     help="don't journal jobs under <cache>/jobs/; "
+                     "jobs then die with the process instead of being "
+                     "recovered (paused/failed) on reboot")
     _add_cache_flags(srv)
     srv.set_defaults(func=_cmd_serve)
+
+    rt = sub.add_parser("route",
+                        help="run a fleet router over design-service "
+                        "backends")
+    rt.add_argument("--backend", action="append", required=True,
+                    metavar="URL",
+                    help="a backend server URL (repeat per shard); "
+                    "/generate and /batch shard by spec-hash prefix, "
+                    "matching each backend's --cache-shards layout")
+    rt.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: loopback only)")
+    rt.add_argument("--port", type=int, default=8730,
+                    help="TCP port (0 picks an ephemeral port)")
+    rt.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                    help="per-request backend timeout in seconds")
+    rt.add_argument("--log-level", default="warning",
+                    choices=list(LOG_LEVELS),
+                    help="stdlib logging level of the repro.* loggers")
+    rt.add_argument("--slow-request-ms", type=float, default=1000.0,
+                    metavar="MS",
+                    help="log a WARNING for routed requests slower "
+                    "than this; 0 disables")
+    rt.set_defaults(func=_cmd_route)
 
     bk = sub.add_parser("backends",
                         help="list the registered emitter backend "

@@ -13,12 +13,15 @@ benchmarks all route through.
 from .api import (cache_stats, clear_cache, explore_cached, export_trace,
                   generate_many, get_engine, list_backends, metrics_text,
                   submit)
-from .cache import CacheStats, DesignCache
+from .cache import CacheStats, DesignCache, shard_roots
 from .client import ServiceClient, ServiceError
 from .engine import (BatchEngine, BatchPlan, PlanGroup, evaluate_archs,
                      model_fingerprint, requests_from_space)
 from .jobs import Job, JobRegistry
-from .server import DesignServer, ServerThread, serve
+from .persist import JobJournal
+from .router import DesignRouter, RouterThread, route
+from .server import (DesignServer, HttpServerBase, ServerOnThread,
+                     ServerThread, serve)
 from .spec import DesignRequest, DesignResult, execute_request
 
 __all__ = [
@@ -29,7 +32,9 @@ __all__ = [
     "get_engine", "submit", "generate_many", "explore_cached",
     "cache_stats", "clear_cache", "list_backends",
     "metrics_text", "export_trace",
-    "DesignServer", "ServerThread", "serve",
+    "DesignServer", "HttpServerBase", "ServerOnThread", "ServerThread",
+    "serve",
+    "DesignRouter", "RouterThread", "route",
     "ServiceClient", "ServiceError",
-    "Job", "JobRegistry",
+    "Job", "JobRegistry", "JobJournal", "shard_roots",
 ]

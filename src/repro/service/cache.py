@@ -15,6 +15,17 @@ the disk eviction scan takes a cross-process advisory file lock
 (``.evict.lock``) so concurrent writers don't both act on the same
 stale directory snapshot and evict twice the excess.
 
+The disk tier can be **sharded** across N roots: pass a sequence of
+directories as ``root`` and every key routes to
+``roots[int(key[:2], 16) % N]`` — the same two-hex-digit prefix that
+already fans entries into ``<hh>/`` subdirectories.  SHA-256 keys make
+the split uniform, the mapping is stable for a fixed root list (so a
+rebuilt cache over the same roots sees every entry), and each shard
+carries its own ``.evict.lock`` so concurrent writers on different
+shards never contend on one flock.  The fleet router shards *requests*
+by the same prefix, which keeps a design's cache entry and the backend
+that computes it on the same store.
+
 Besides finished designs, the cache stores **keyed intermediates** of
 the staged cold path (:meth:`DesignCache.get_phase` /
 :meth:`DesignCache.put_phase`): scheduled-design and golden-vector
@@ -61,7 +72,7 @@ from ..obs import get_registry
 from ..serialize import canonical_dumps
 
 __all__ = ["DesignCache", "CacheStats", "SingleFlight",
-           "default_cache_dir"]
+           "default_cache_dir", "shard_roots"]
 
 _FORMAT = "lego-cache-v1"
 
@@ -182,6 +193,17 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path(xdg) / "repro" / "designs"
 
 
+def shard_roots(base, n: int) -> list[pathlib.Path]:
+    """The canonical N-shard layout under one base directory:
+    ``<base>/shard-00 .. shard-<n-1>`` (or just ``[base]`` for n <= 1).
+    ``repro serve --cache-shards N`` and the fleet benchmark build
+    their roots through this so every process agrees on the split."""
+    base = pathlib.Path(base)
+    if n <= 1:
+        return [base]
+    return [base / f"shard-{i:02d}" for i in range(n)]
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -229,7 +251,12 @@ class CacheStats:
 
 @dataclass
 class DesignCache:
-    """Content-addressed record store keyed by SHA-256 hex digests."""
+    """Content-addressed record store keyed by SHA-256 hex digests.
+
+    ``root`` is a single directory or a sequence of shard directories;
+    see the module docstring for the shard routing rule.  With one root
+    the behaviour is exactly the unsharded cache.
+    """
 
     root: pathlib.Path = field(default_factory=default_cache_dir)
     memory_entries: int = 128
@@ -241,7 +268,17 @@ class DesignCache:
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self):
-        self.root = pathlib.Path(self.root)
+        if isinstance(self.root, (list, tuple)):
+            roots = [pathlib.Path(r) for r in self.root]
+            if not roots:
+                roots = [default_cache_dir()]
+        else:
+            roots = [pathlib.Path(self.root)]
+        #: disk-tier shard directories (length >= 1, order significant)
+        self.roots: list[pathlib.Path] = roots
+        # Back-compat: `.root` stays a single path (the first shard) for
+        # display, journal placement, and existing single-root callers.
+        self.root = roots[0]
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._live: OrderedDict[str, object] = OrderedDict()
         #: in-flight registry: concurrent identical phase computations
@@ -257,14 +294,33 @@ class DesignCache:
 
     # -- addressing --------------------------------------------------------
 
+    def shard_for(self, key: str) -> int:
+        """Which shard root holds *key* (0 with a single root)."""
+        if len(self.roots) == 1:
+            return 0
+        try:
+            prefix = int(key[:2], 16)
+        except ValueError:
+            # Non-hex keys never come from our hashes, but route them
+            # deterministically instead of crashing.
+            prefix = int(hashlib.sha256(key.encode()).hexdigest()[:2], 16)
+        return prefix % len(self.roots)
+
     def path_for(self, key: str) -> pathlib.Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.roots[self.shard_for(key)] / key[:2] / f"{key}.json"
+
+    def _shard_keys(self, index: int) -> list[str]:
+        root = self.roots[index]
+        if not root.is_dir():
+            return []
+        return sorted(p.stem for p in root.glob("??/*.json"))
 
     def keys(self) -> list[str]:
         """All keys currently on disk (sorted for stable listings)."""
-        if not self.root.is_dir():
-            return []
-        return sorted(p.stem for p in self.root.glob("??/*.json"))
+        seen = []
+        for index in range(len(self.roots)):
+            seen.extend(self._shard_keys(index))
+        return sorted(seen)
 
     def __len__(self) -> int:
         return len(self.keys())
@@ -322,17 +378,23 @@ class DesignCache:
             return None
         except (ValueError, OSError):
             # Corrupted entry: drop it and let the caller regenerate.
+            # Decrement the approximate disk count only once the entry
+            # is actually gone — decrementing on a failed unlink makes
+            # the eviction trigger undercount and the disk tier creep
+            # past its bound.
+            unlinked = False
+            try:
+                path.unlink()
+                unlinked = True
+            except OSError:
+                pass
             with self._lock:
                 self.stats.corrupt += 1
                 self.stats.misses += 1
-                if self._disk_count is not None:
+                if unlinked and self._disk_count is not None:
                     self._disk_count = max(0, self._disk_count - 1)
             _LOOKUPS.labels(tier="disk", outcome="miss").inc()
             _CORRUPT.inc()
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
         with self._lock:
             self.stats.hits += 1
@@ -454,15 +516,17 @@ class DesignCache:
             self._memory.popitem(last=False)
 
     @contextlib.contextmanager
-    def _eviction_lock(self):
-        """Cross-process advisory lock for the eviction scan.  Held by
-        another process → yields False (skip: that process is already
-        shrinking the store, and two scans of the same stale snapshot
-        would evict the excess twice)."""
+    def _eviction_lock(self, root: pathlib.Path | None = None):
+        """Cross-process advisory lock for one shard's eviction scan.
+        Held by another process → yields False (skip: that process is
+        already shrinking the shard, and two scans of the same stale
+        snapshot would evict the excess twice).  Each shard root gets
+        its own ``.evict.lock``, so writers on different shards never
+        serialize against each other."""
         if fcntl is None:
             yield True
             return
-        lock_path = self.root / ".evict.lock"
+        lock_path = (root if root is not None else self.root) / ".evict.lock"
         try:
             fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
         except OSError:
@@ -493,20 +557,36 @@ class DesignCache:
                 self._disk_count = count
         if count <= self.disk_entries:
             return
-        with self._eviction_lock() as held:
+        # Each shard keeps its fair slice of the bound; with one root
+        # this is exactly the unsharded behaviour.
+        per_shard = max(1, self.disk_entries // len(self.roots))
+        total = 0
+        for index, root in enumerate(self.roots):
+            total += self._evict_shard(index, root, per_shard)
+        with self._lock:
+            self._disk_count = total
+
+    def _evict_shard(self, index: int, root: pathlib.Path,
+                     bound: int) -> int:
+        """Shrink one shard to *bound* entries; returns the shard's
+        entry count after any eviction."""
+        paths = [self.path_for(k) for k in self._shard_keys(index)]
+        if len(paths) <= bound:
+            return len(paths)
+        with self._eviction_lock(root) as held:
             if not held:
-                return
+                return len(paths)
             # Re-scan under the lock: another process may have evicted
             # since the approximate count tripped the threshold.
-            paths = [self.path_for(k) for k in self.keys()]
-            excess = len(paths) - self.disk_entries
+            paths = [self.path_for(k) for k in self._shard_keys(index)]
+            excess = max(len(paths) - bound, 0)
 
             def mtime(p: pathlib.Path) -> float:
                 try:
                     return p.stat().st_mtime
                 except OSError:
                     return 0.0
-            for path in sorted(paths, key=mtime)[:max(excess, 0)]:
+            for path in sorted(paths, key=mtime)[:excess]:
                 try:
                     path.unlink()
                     with self._lock:
@@ -516,5 +596,4 @@ class DesignCache:
                     pass
                 with self._lock:
                     self._memory.pop(path.stem, None)
-            with self._lock:
-                self._disk_count = len(paths) - max(excess, 0)
+            return len(paths) - excess

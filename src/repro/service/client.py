@@ -87,9 +87,21 @@ class ServiceClient:
             raise ServiceError(status, {"error": text})
         return text
 
+    def roundtrip(self, method: str, path: str,
+                  body: dict | bytes | None = None) -> tuple[int, bytes]:
+        """One raw round-trip: ``(status, response bytes)``, no error
+        raising, no JSON decoding.  *body* may be pre-encoded bytes —
+        the fleet router forwards request bodies verbatim through this
+        without paying a decode/encode cycle per hop."""
+        return self._roundtrip(method, path, body)
+
     def _roundtrip(self, method: str, path: str,
-                   body: dict | None) -> tuple[int, bytes]:
-        payload = json.dumps(body).encode() if body is not None else None
+                   body: dict | bytes | None) -> tuple[int, bytes]:
+        if isinstance(body, bytes):
+            payload = body
+        else:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
         headers = {"Content-Type": "application/json"}
         for attempt in (0, 1):
             if self._conn is None:
@@ -191,8 +203,45 @@ class ServiceClient:
             state = self.job(job_id, checkpoint=False)
             if state["status"] in until:
                 return self.job(job_id)
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"job {job_id} still {state['status']} after "
                     f"{timeout:.0f}s")
-            time.sleep(poll_s)
+            # Cap the sleep to the remaining budget: a full poll_s past
+            # the deadline would overshoot timeout=1.0, poll_s=0.5 to
+            # ~1.5s.
+            time.sleep(min(poll_s, remaining))
+
+    def stream(self, job_id: str, checkpoint: bool = True):
+        """Follow ``GET /jobs/<id>/stream``: yield each NDJSON event
+        (per-result dicts for batches, per-step checkpoints for
+        explorations, then one ``{"event": "end", "job": ...}``) as the
+        server produces it — replacing a :meth:`wait` poll loop.
+
+        Runs on its own connection (the server closes a stream's
+        connection when it ends), so the client's persistent connection
+        stays usable; abandoning the generator early closes the stream.
+        """
+        path = (f"/jobs/{job_id}/stream"
+                + ("" if checkpoint else "?checkpoint=0"))
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    decoded = json.loads(data.decode()) if data else {}
+                except ValueError:
+                    decoded = {"error": data.decode(errors="replace")}
+                raise ServiceError(response.status, decoded)
+            # http.client undoes the chunked framing; each line is one
+            # JSON event.
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()

@@ -76,10 +76,12 @@ def _init_request_worker(cache_spec: dict | None) -> None:
 
 
 def _cache_spec(cache: DesignCache | None) -> dict | None:
-    """Picklable recipe for rebuilding an equivalent cache in a worker."""
+    """Picklable recipe for rebuilding an equivalent cache in a worker.
+    Carries every shard root, in order: a worker with a different
+    key→shard mapping would write warm designs to the wrong store."""
     if cache is None:
         return None
-    return {"root": str(cache.root),
+    return {"root": [str(r) for r in cache.roots],
             "memory_entries": cache.memory_entries,
             "disk_entries": cache.disk_entries}
 

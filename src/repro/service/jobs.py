@@ -6,6 +6,19 @@ paused and resumed (explorations), and eventually carrying its result
 or the full traceback of its failure.  The :class:`JobRegistry` is the
 thread-safe table the asyncio server and its executor threads share;
 nothing in here knows about HTTP.
+
+Two serving-tier facilities hang off the job table:
+
+* **Persistence** — give the registry a journal (see
+  :class:`repro.service.persist.JobJournal`) and every transition is
+  recorded to disk; :meth:`JobRegistry.restore` reloads the table at
+  boot and applies the recovery matrix (interrupted explorations park
+  as ``paused`` with their last journaled checkpoint, interrupted
+  batches fail with an error explaining the restart).
+* **Events** — job bodies :meth:`Job.emit` per-result / per-checkpoint
+  events into a bounded buffer that the ``/jobs/<id>/stream`` endpoint
+  drains with a cursor, so clients can stream results as they finish
+  instead of polling.
 """
 
 from __future__ import annotations
@@ -16,6 +29,11 @@ import threading
 import time
 
 __all__ = ["Job", "JobRegistry", "JOB_STATUSES", "RegistryFull"]
+
+#: bound of a job's event buffer; past it, events are dropped (the
+#: terminal "end" event is synthesized by the stream, never buffered,
+#: so a stream always terminates; ``events_dropped`` records the loss)
+MAX_JOB_EVENTS = 10_000
 
 JOB_STATUSES = ("queued", "running", "pausing", "paused", "done", "failed")
 
@@ -54,9 +72,15 @@ class Job:
         #: for a `/batch` job — recorded before execution starts, so a
         #: poller can see how much schedule work the batch will pay.
         self.plan: dict | None = None
+        #: True when this job was reloaded from the journal after a
+        #: restart and transitioned by the recovery matrix.
+        self.recovered = False
         self._lock = threading.RLock()
         self._pause = threading.Event()
         self._finished = threading.Event()
+        self._events: list[dict] = []
+        self.events_dropped = 0
+        self._journal = None  # set by JobRegistry.create / restore
 
     # -- state transitions (called from executor threads) ------------------
 
@@ -64,6 +88,7 @@ class Job:
         with self._lock:
             self.status = "running"
             self.started_s = time.time()
+        self._persist()
 
     def update_progress(self, **fields) -> None:
         """Merge progress fields under the job lock (worker threads
@@ -72,12 +97,21 @@ class Job:
         with self._lock:
             self.progress.update(fields)
 
+    def set_checkpoint(self, checkpoint: dict | None) -> None:
+        """Record the latest resumable exploration snapshot — and
+        journal it, so a killed server re-parks the search exactly one
+        step behind where it died."""
+        with self._lock:
+            self.checkpoint = checkpoint
+        self._persist()
+
     def finish(self, result: dict) -> None:
         with self._lock:
             self.result = result
             self.status = "done"
             self.finished_s = time.time()
         self._finished.set()
+        self._persist()
 
     def fail(self, error: str, tb: str | None = None) -> None:
         with self._lock:
@@ -86,6 +120,7 @@ class Job:
             self.status = "failed"
             self.finished_s = time.time()
         self._finished.set()
+        self._persist()
 
     def pause(self) -> bool:
         """Ask a running exploration to stop after its current step."""
@@ -95,12 +130,14 @@ class Job:
             self._pause.set()
             if self.status == "running":
                 self.status = "pausing"
-            return True
+        self._persist()
+        return True
 
     def mark_paused(self) -> None:
         with self._lock:
             self.status = "paused"
         self._finished.set()
+        self._persist()
 
     def resume(self) -> bool:
         """Clear the pause flag; the server re-dispatches the work."""
@@ -110,7 +147,8 @@ class Job:
             self._pause.clear()
             self._finished.clear()
             self.status = "running"
-            return True
+        self._persist()
+        return True
 
     @property
     def pause_requested(self) -> bool:
@@ -119,6 +157,92 @@ class Job:
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches done/failed/paused."""
         return self._finished.wait(timeout)
+
+    def settled(self) -> bool:
+        """True once the job sits in done/failed/paused (no executor
+        thread will emit further events until a resume)."""
+        return self._finished.is_set()
+
+    # -- recovery transitions (applied by JobRegistry.restore) -------------
+
+    def recover_paused(self) -> None:
+        """Park an exploration interrupted by a crash/restart: it holds
+        no executor thread, but its journaled checkpoint makes it
+        resumable through the ordinary ``POST /jobs/<id>/resume``."""
+        with self._lock:
+            self.status = "paused"
+            self.recovered = True
+        self._finished.set()
+        self._persist()
+
+    def recover_failed(self, error: str) -> None:
+        with self._lock:
+            self.error = error
+            self.status = "failed"
+            self.finished_s = time.time()
+            self.recovered = True
+        self._finished.set()
+        self._persist()
+
+    # -- event stream ------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        """Append one stream event (a JSON-safe dict).  Past the buffer
+        bound, events are dropped newest-first so existing cursors stay
+        valid; drops are counted, never silent."""
+        with self._lock:
+            if len(self._events) >= MAX_JOB_EVENTS:
+                self.events_dropped += 1
+                return
+            self._events.append(event)
+
+    def events_since(self, cursor: int) -> tuple[list[dict], int]:
+        """Events appended at or after *cursor*, plus the new cursor."""
+        with self._lock:
+            fresh = self._events[cursor:]
+            return fresh, cursor + len(fresh)
+
+    # -- journal -----------------------------------------------------------
+
+    def _persist(self) -> None:
+        """Best-effort journal write of the current state.  Runs under
+        the job lock so concurrent transitions serialize their records
+        (atomic replace makes each write all-or-nothing); a full disk
+        must degrade persistence, never serving."""
+        journal = self._journal
+        if journal is None:
+            return
+        with self._lock:
+            data = self.to_dict(include_checkpoint=True)
+            data["params"] = self.params
+            data["recovered"] = self.recovered
+            try:
+                journal.record(self.id, data)
+            except OSError:
+                pass
+
+    @classmethod
+    def from_journal(cls, data: dict, journal=None) -> "Job":
+        """Rebuild a job verbatim from its journal record (recovery
+        policy is the registry's concern, not this constructor's)."""
+        job = cls(data["id"], data.get("kind", "batch"),
+                  data.get("params") or {})
+        job.status = data.get("status", "queued")
+        job.created_s = data.get("created_s", job.created_s)
+        job.started_s = data.get("started_s")
+        job.finished_s = data.get("finished_s")
+        job.progress = dict(data.get("progress") or {})
+        job.result = data.get("result")
+        job.error = data.get("error")
+        job.traceback = data.get("traceback")
+        job.checkpoint = data.get("checkpoint")
+        job.trace_id = data.get("trace_id")
+        job.plan = data.get("plan")
+        job.recovered = bool(data.get("recovered"))
+        job._journal = journal
+        if job.status in ("done", "failed", "paused"):
+            job._finished.set()
+        return job
 
     # -- views -------------------------------------------------------------
 
@@ -129,6 +253,7 @@ class Job:
                     "created_s": self.created_s,
                     "trace_id": self.trace_id,
                     "plan": self.plan,
+                    "recovered": self.recovered,
                     "progress": dict(self.progress)}
 
     def to_dict(self, include_checkpoint: bool = True) -> dict:
@@ -137,6 +262,7 @@ class Job:
                    "created_s": self.created_s,
                    "trace_id": self.trace_id,
                    "plan": self.plan,
+                   "recovered": self.recovered,
                    "started_s": self.started_s,
                    "finished_s": self.finished_s,
                    "progress": dict(self.progress),
@@ -149,10 +275,16 @@ class Job:
 
 
 class JobRegistry:
-    """Thread-safe id → :class:`Job` table."""
+    """Thread-safe id → :class:`Job` table.
 
-    def __init__(self, max_jobs: int = 1024):
+    *journal* (optional) is a :class:`~repro.service.persist.JobJournal`:
+    every job created here records its transitions through it, evicted
+    jobs are forgotten from it, and :meth:`restore` reloads it at boot.
+    """
+
+    def __init__(self, max_jobs: int = 1024, journal=None):
         self.max_jobs = max_jobs
+        self.journal = journal
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
@@ -160,6 +292,8 @@ class JobRegistry:
     def create(self, kind: str, params: dict) -> Job:
         job_id = f"{kind}-{next(self._seq)}-{secrets.token_hex(3)}"
         job = Job(job_id, kind, params)
+        job._journal = self.journal
+        evicted: list[str] = []
         with self._lock:
             live = sum(1 for j in self._jobs.values()
                        if j.status in LIVE_STATUSES)
@@ -178,6 +312,11 @@ class JobRegistry:
                         break
                     if old.status in ("done", "failed"):
                         del self._jobs[jid]
+                        evicted.append(jid)
+        job._persist()
+        if self.journal is not None:
+            for jid in evicted:
+                self.journal.forget(jid)
         return job
 
     def get(self, job_id: str) -> Job | None:
@@ -194,5 +333,98 @@ class JobRegistry:
             jobs = list(self._jobs.values())
         counts = {status: 0 for status in JOB_STATUSES}
         for job in jobs:
-            counts[job.status] = counts.get(job.status, 0) + 1
+            # Snapshot each status under its own job lock (like
+            # summary() does): executor threads transition concurrently
+            # and the gauge must never observe a mid-transition read.
+            with job._lock:
+                status = job.status
+            counts[status] = counts.get(status, 0) + 1
         return counts
+
+    # -- restart recovery --------------------------------------------------
+
+    def restore(self) -> dict:
+        """Reload the journal at boot and apply the recovery matrix:
+
+        ========== ============================ =======================
+        journaled  meaning after a dead server  restored as
+        ========== ============================ =======================
+        queued /   the executor thread died     explore → ``paused``
+        running /  with the process             (resumable from its
+        pausing                                 checkpoint); batch →
+                                                ``failed`` with a
+                                                recovery error
+        paused     parked, holds no thread      as-is (resumable)
+        done /     terminal                     as-is
+        failed
+        ========== ============================ =======================
+
+        Returns ``{"jobs": n, "resumable": n, "failed": n}``.
+        """
+        summary = {"jobs": 0, "resumable": 0, "failed": 0}
+        if self.journal is None:
+            return summary
+        records = sorted(self.journal.load_all(),
+                         key=lambda d: d.get("created_s") or 0.0)
+        max_seq = 0
+        for data in records:
+            job = Job.from_journal(data, journal=self.journal)
+            if job.status in ("queued", "running", "pausing"):
+                if job.kind == "explore":
+                    job.recover_paused()
+                    summary["resumable"] += 1
+                else:
+                    job.recover_failed(
+                        "server restarted while this batch job was "
+                        f"{job.status}; batch jobs hold no checkpoint, "
+                        "so the work cannot be resumed — resubmit the "
+                        "batch (finished designs are in the cache and "
+                        "will be served warm)")
+                    summary["failed"] += 1
+            with self._lock:
+                self._jobs[job.id] = job
+            summary["jobs"] += 1
+            max_seq = max(max_seq, _id_sequence(job.id))
+        if max_seq:
+            with self._lock:
+                # Continue numbering past the restored jobs so fresh
+                # ids never collide with journaled ones.
+                self._seq = itertools.count(max_seq + 1)
+        return summary
+
+    def sweep_shutdown(self) -> dict:
+        """Transition jobs whose queued executor slot was cancelled by
+        a server shutdown (``cancel_futures=True``): without this they
+        would sit ``queued`` forever and every ``wait()`` on them would
+        hang to its timeout.  Explorations park as ``paused`` (a resume
+        — possibly after a restart, via the journal — re-runs them);
+        batches fail with an explanation.  Running jobs are left alone:
+        their bodies observe the closing flag themselves."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        swept = {"paused": 0, "failed": 0}
+        for job in jobs:
+            with job._lock:
+                status = job.status
+            if status != "queued":
+                continue
+            if job.kind == "explore":
+                job.mark_paused()
+                swept["paused"] += 1
+            else:
+                job.fail("server shut down before this batch job "
+                         "started; resubmit it")
+                swept["failed"] += 1
+        return swept
+
+
+def _id_sequence(job_id: str) -> int:
+    """The monotonic sequence number embedded in ``<kind>-<n>-<hex>``
+    job ids (0 when the id doesn't carry one)."""
+    parts = job_id.split("-")
+    if len(parts) < 3:
+        return 0
+    try:
+        return int(parts[-2])
+    except ValueError:
+        return 0

@@ -1,0 +1,576 @@
+"""Fleet router: one HTTP front for N design-service shards.
+
+``repro route --backend URL --backend URL ...`` runs a thin
+:class:`DesignRouter` process that speaks the same protocol as
+:class:`~repro.service.server.DesignServer` (it shares the
+:class:`~repro.service.server.HttpServerBase` plumbing) but owns no
+engine: every request is forwarded to a backend server.
+
+Routing policy:
+
+* ``/generate`` and each entry of ``/batch`` go to
+  ``backends[int(spec_hash[:2], 16) % N]`` — the same two-hex-digit
+  prefix the :class:`~repro.service.cache.DesignCache` shards by, so a
+  design's requests, its cache entry, and the backend that computes it
+  always land together and every repeat is a warm hit.  The router
+  memoizes raw request body → shard in a bounded LRU, so the warm path
+  never parses a spec on the event loop: a repeated ``/generate`` costs
+  a dict lookup plus a byte-for-byte proxied round-trip on an executor
+  thread.
+* ``/batch`` bodies spanning several shards are split into per-shard
+  sub-batches submitted concurrently and tracked under one composite
+  ``fan-...`` job id; polling it merges the parts back into the
+  original request order.
+* ``/explore`` is round-robin (any backend can search; its cache tier
+  is shared work, not partitioned work).
+* ``/jobs`` merges every backend's listing; job ids are namespaced as
+  ``s<shard>.<job id>`` so ``GET``/``pause``/``resume``/``stream``
+  forward to the owning backend.
+* ``/metrics`` folds every backend's JSON snapshot
+  (``GET /metrics?format=json``) plus the router's own registry into
+  one Prometheus exposition via :meth:`MetricsRegistry.merge`;
+  ``/healthz`` reports per-backend liveness and summed job counts.
+
+The router holds no job state beyond the composite-fan table, so
+router restarts only forget fan ids — the underlying per-shard jobs
+(journaled by their backends) survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import json
+import queue as queue_module
+import re
+import secrets
+import signal
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+from ..obs import MetricsRegistry, get_registry, setup_logging
+from .client import ServiceClient, ServiceError
+from .server import (HttpServerBase, ServerOnThread, StreamPayload,
+                     _BadRequest, _request_from_body, _serve_async)
+
+__all__ = ["DesignRouter", "RouterThread", "route"]
+
+#: router-namespaced backend job ids: ``s<shard>.<backend job id>``
+_SHARD_ID = re.compile(r"^s(\d+)\.(.+)$")
+
+_LIVE = ("queued", "running", "pausing")
+
+
+class _ClientPool:
+    """A small free-list of persistent :class:`ServiceClient`
+    connections to one backend (clients are not thread-safe, so each
+    forwarding thread borrows one at a time)."""
+
+    def __init__(self, url: str, timeout: float):
+        self.url = url
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._idle: list[ServiceClient] = []
+
+    @contextlib.contextmanager
+    def client(self):
+        with self._lock:
+            client = self._idle.pop() if self._idle else None
+        if client is None:
+            client = ServiceClient.from_url(self.url, timeout=self.timeout)
+        try:
+            yield client
+        except BaseException:
+            client.close()
+            raise
+        else:
+            with self._lock:
+                self._idle.append(client)
+
+
+class _ProxyStream(StreamPayload):
+    """Proxy one backend job stream through the router: a pump thread
+    consumes :meth:`ServiceClient.stream` and hands events to the
+    router's event loop through a bounded queue."""
+
+    def __init__(self, router: "DesignRouter", index: int, job_id: str,
+                 checkpoint: bool = True):
+        self.router = router
+        self.index = index
+        self.job_id = job_id
+        self.checkpoint = checkpoint
+
+    async def events(self, closing: threading.Event):
+        events: queue_module.Queue = queue_module.Queue(maxsize=256)
+        stop = threading.Event()
+        done = object()
+
+        def put(item) -> bool:
+            while not stop.is_set():
+                try:
+                    events.put(item, timeout=0.25)
+                    return True
+                except queue_module.Full:
+                    continue
+            return False
+
+        def pump():
+            client = ServiceClient.from_url(
+                self.router.backends[self.index],
+                timeout=self.router.timeout)
+            try:
+                for event in client.stream(self.job_id,
+                                           checkpoint=self.checkpoint):
+                    if not put(event):
+                        return
+            except ServiceError as exc:
+                put({"event": "error", "error": str(exc)})
+            except OSError as exc:
+                put({"event": "error",
+                     "error": f"backend stream failed: {exc}"})
+            finally:
+                client.close()
+                put(done)
+
+        loop = asyncio.get_running_loop()
+        pumping = loop.run_in_executor(self.router._forward_executor,
+                                       pump)
+        try:
+            while True:
+                try:
+                    event = events.get_nowait()
+                except queue_module.Empty:
+                    if closing.is_set():
+                        break
+                    await asyncio.sleep(0.02)
+                    continue
+                if event is done:
+                    break
+                if (event.get("event") == "end"
+                        and isinstance(event.get("job"), dict)):
+                    job = dict(event["job"])
+                    if isinstance(job.get("id"), str):
+                        job["id"] = self.router._tag(self.index,
+                                                     job["id"])
+                    event = dict(event, job=job)
+                yield event
+        finally:
+            # Unblock (and retire) the pump thread if the downstream
+            # client abandoned the stream early.
+            stop.set()
+            pumping.cancel()
+
+
+class DesignRouter(HttpServerBase):
+    """Fan requests across design-service shards (see module doc)."""
+
+    log_name = "route"
+
+    def __init__(self, backends, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 300.0, reuse_port: bool = False,
+                 slow_request_ms: float = 1000.0):
+        super().__init__(host=host, port=port, reuse_port=reuse_port,
+                         slow_request_ms=slow_request_ms)
+        urls = [str(u).rstrip("/") for u in backends]
+        if not urls:
+            raise ValueError("a router needs at least one --backend URL")
+        self.backends = urls
+        self.timeout = timeout
+        self._pools = [_ClientPool(u, timeout) for u in urls]
+        # Forwarding happens on threads (http.client is blocking): size
+        # the pool so a slow backend can't starve the others.
+        self._forward_executor = ThreadPoolExecutor(
+            max_workers=max(16, 8 * len(urls)),
+            thread_name_prefix="repro-route")
+        #: raw /generate body -> shard index (bounded LRU)
+        self._route_cache: OrderedDict[bytes, int] = OrderedDict()
+        self.route_cache_entries = 4096
+        self._route_lock = threading.Lock()
+        self._rr = itertools.count()
+        self._fans: dict[str, dict] = {}
+        self._fan_lock = threading.Lock()
+        self._fan_seq = itertools.count(1)
+
+    async def stop(self) -> None:
+        await super().stop()
+        self._forward_executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- forwarding --------------------------------------------------------
+
+    async def _forward(self, index: int, method: str, path: str,
+                       body=None) -> tuple[int, bytes]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._forward_executor, self._forward_sync, index, method,
+            path, body)
+
+    def _forward_sync(self, index: int, method: str, path: str,
+                      body=None) -> tuple[int, bytes]:
+        try:
+            with self._pools[index].client() as client:
+                return client.roundtrip(method, path, body)
+        except OSError as exc:
+            return 502, json.dumps(
+                {"error": f"backend {self.backends[index]} unreachable: "
+                          f"{type(exc).__name__}: {exc}"}).encode()
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict:
+        try:
+            payload = json.loads(raw.decode()) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode(errors="replace")}
+        return payload if isinstance(payload, dict) else {"value": payload}
+
+    def _tag(self, index: int, job_id: str) -> str:
+        return f"s{index}.{job_id}"
+
+    # -- shard selection ---------------------------------------------------
+
+    def shard_for(self, spec_hash: str) -> int:
+        """``spec_hash`` prefix → backend index: the same mapping the
+        sharded cache uses, so requests follow their cache entries."""
+        return int(spec_hash[:2], 16) % len(self.backends)
+
+    def _shard_for_generate(self, data) -> int:
+        if not isinstance(data, dict):
+            raise _BadRequest("body must be a JSON object")
+        spec = data.get("request")
+        if not isinstance(spec, dict):
+            spec = {k: v for k, v in data.items() if k != "include_rtl"}
+        return self.shard_for(_request_from_body(spec).spec_hash())
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route_raw(self, method, path, query, body):
+        """The /generate proxy path.  Warm repeats (the DSE loop's
+        traffic) hit the raw-body routing LRU and forward byte-for-byte
+        without any JSON work on the event loop; a first-seen body pays
+        one parse + spec hash to learn its shard."""
+        if method != "POST" or path != "/generate" or not body:
+            return None
+        with self._route_lock:
+            index = self._route_cache.get(body)
+            if index is not None:
+                self._route_cache.move_to_end(body)
+        if index is None:
+            try:
+                data = json.loads(body.decode())
+            except (ValueError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"malformed JSON body: {exc}"}
+            index = self._shard_for_generate(data)  # may raise _BadRequest
+            with self._route_lock:
+                self._route_cache[body] = index
+                while len(self._route_cache) > self.route_cache_entries:
+                    self._route_cache.popitem(last=False)
+        return await self._forward(index, "POST", "/generate", body)
+
+    async def _route(self, method, path, query, data) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            return await self._merged_health()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics"}
+            return await self._merged_metrics(query)
+        if path == "/backends":
+            if method != "GET":
+                return 405, {"error": "use GET /backends"}
+            status, raw = await self._forward(0, "GET", "/backends")
+            return status, self._decode(raw)
+        if path == "/generate":
+            if method != "POST":
+                return 405, {"error": "use POST /generate"}
+            # _route_raw answers every non-empty body; reaching here
+            # means there was none.
+            raise _BadRequest("body must be a JSON object")
+        if path == "/batch":
+            if method != "POST":
+                return 405, {"error": "use POST /batch"}
+            return await self._handle_batch(data)
+        if path == "/explore":
+            if method != "POST":
+                return 405, {"error": "use POST /explore"}
+            return await self._handle_explore(data)
+        if path == "/jobs":
+            if method != "GET":
+                return 405, {"error": "use GET /jobs"}
+            return await self._merged_jobs()
+        if path.startswith("/jobs/"):
+            return await self._handle_job(method, path, query)
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    # -- fan-out endpoints -------------------------------------------------
+
+    async def _handle_batch(self, data) -> tuple[int, dict]:
+        if not isinstance(data, dict) or "requests" not in data:
+            raise _BadRequest('body must be {"requests": [...]}')
+        specs = data["requests"]
+        if not isinstance(specs, list) or not specs:
+            raise _BadRequest('"requests" must be a non-empty list')
+        shards: dict[int, list[int]] = {}
+        for position, spec in enumerate(specs):
+            index = self.shard_for(_request_from_body(spec).spec_hash())
+            shards.setdefault(index, []).append(position)
+        if len(shards) == 1:
+            # Single-shard batches forward wholesale: no fan bookkeeping,
+            # the composite id machinery, or merged polling needed.
+            index = next(iter(shards))
+            status, raw = await self._forward(index, "POST", "/batch",
+                                              data)
+            payload = self._decode(raw)
+            if status < 400 and isinstance(payload.get("job"), str):
+                payload["job"] = self._tag(index, payload["job"])
+                payload["shards"] = [self.backends[index]]
+            return status, payload
+
+        async def submit(index: int, positions: list[int]):
+            body = dict(data, requests=[specs[p] for p in positions])
+            status, raw = await self._forward(index, "POST", "/batch",
+                                              body)
+            return index, positions, status, self._decode(raw)
+
+        outcomes = await asyncio.gather(
+            *(submit(i, ps) for i, ps in sorted(shards.items())))
+        for index, _positions, status, payload in outcomes:
+            if status >= 400 or not isinstance(payload.get("job"), str):
+                payload.setdefault("error", "batch submission failed")
+                payload["backend"] = self.backends[index]
+                return (status if status >= 400 else 502), payload
+        fan_id = f"fan-{next(self._fan_seq)}-{secrets.token_hex(3)}"
+        with self._fan_lock:
+            self._fans[fan_id] = {
+                "n_requests": len(specs),
+                "parts": [{"shard": index, "job": payload["job"],
+                           "positions": positions}
+                          for index, positions, _status, payload
+                          in outcomes]}
+        return 202, {"job": fan_id, "status": "queued",
+                     "requests": len(specs),
+                     "shards": [self.backends[i] for i, *_ in outcomes]}
+
+    async def _handle_explore(self, data) -> tuple[int, dict]:
+        # Round-robin: any backend can search; the shared work is its
+        # cache tier, which is already shard-routed per evaluation.
+        index = next(self._rr) % len(self.backends)
+        status, raw = await self._forward(index, "POST", "/explore", data)
+        payload = self._decode(raw)
+        if status < 400 and isinstance(payload.get("job"), str):
+            payload["job"] = self._tag(index, payload["job"])
+            payload["backend"] = self.backends[index]
+        return status, payload
+
+    # -- job forwarding ----------------------------------------------------
+
+    async def _handle_job(self, method, path, query) -> tuple[int, dict]:
+        parts = path.strip("/").split("/")
+        if len(parts) not in (2, 3):
+            return 404, {"error": f"no such endpoint: {path}"}
+        job_id = parts[1]
+        action = parts[2] if len(parts) == 3 else None
+        with self._fan_lock:
+            fan = self._fans.get(job_id)
+        if fan is not None:
+            if action is not None:
+                return 400, {"error": "fanned batch jobs support "
+                             "GET /jobs/<id> only"}
+            if method != "GET":
+                return 405, {"error": "use GET /jobs/<id>"}
+            return await self._fan_status(job_id, fan)
+        match = _SHARD_ID.match(job_id)
+        if match is None:
+            return 404, {"error": f"no such job: {job_id} (router job "
+                         "ids look like s<shard>.<job> or fan-<n>-<id>)"}
+        index = int(match.group(1))
+        if index >= len(self.backends):
+            return 404, {"error": f"no such shard s{index}"}
+        backend_job = match.group(2)
+        if action == "stream":
+            if method != "GET":
+                return 405, {"error": "use GET /jobs/<id>/stream"}
+            return 200, _ProxyStream(self, index, backend_job,
+                                     checkpoint="checkpoint=0"
+                                     not in query)
+        backend_path = f"/jobs/{backend_job}"
+        if action is not None:
+            backend_path += f"/{action}"
+        if query:
+            backend_path += f"?{query}"
+        status, raw = await self._forward(index, method, backend_path)
+        payload = self._decode(raw)
+        for key in ("job", "id"):
+            if isinstance(payload.get(key), str):
+                payload[key] = self._tag(index, payload[key])
+        return status, payload
+
+    async def _fan_status(self, fan_id: str, fan: dict) -> tuple[int,
+                                                                 dict]:
+        parts = fan["parts"]
+        polls = await asyncio.gather(
+            *(self._forward(p["shard"], "GET", f"/jobs/{p['job']}")
+              for p in parts))
+        payloads = [self._decode(raw) for _status, raw in polls]
+        for part, (status, _raw), payload in zip(parts, polls, payloads):
+            if status >= 400:
+                return status, {
+                    "id": fan_id,
+                    "error": f"backend {self.backends[part['shard']]} "
+                             f"lost job {part['job']}: "
+                             f"{payload.get('error')}"}
+        statuses = [p.get("status") for p in payloads]
+        if any(s in _LIVE for s in statuses):
+            status = ("queued" if all(s == "queued" for s in statuses)
+                      else "running")
+        elif any(s == "failed" for s in statuses):
+            status = "failed"
+        else:
+            status = "done"
+        done = sum((p.get("progress") or {}).get("done", 0)
+                   for p in payloads)
+        out: dict = {
+            "id": fan_id, "kind": "batch", "status": status,
+            "progress": {"done": done, "total": fan["n_requests"]},
+            "parts": [{"backend": self.backends[part["shard"]],
+                       "job": part["job"],
+                       "status": payload.get("status")}
+                      for part, payload in zip(parts, payloads)],
+            "result": None, "error": None}
+        if status == "done":
+            merged: list = [None] * fan["n_requests"]
+            ok = from_cache = 0
+            failures: list = []
+            for part, payload in zip(parts, payloads):
+                result = payload.get("result") or {}
+                for position, record in zip(part["positions"],
+                                            result.get("results") or []):
+                    merged[position] = record
+                ok += result.get("ok", 0)
+                from_cache += result.get("from_cache", 0)
+                failures.extend(result.get("failed") or [])
+            out["result"] = {"results": merged, "ok": ok,
+                             "from_cache": from_cache,
+                             "failed": failures}
+        elif status == "failed":
+            errors = [p.get("error") for p in payloads
+                      if p.get("status") == "failed"]
+            out["error"] = ("; ".join(e for e in errors if e)
+                            or "a batch part failed")
+        return 200, out
+
+    # -- merged read endpoints ---------------------------------------------
+
+    async def _merged_jobs(self) -> tuple[int, dict]:
+        polls = await asyncio.gather(
+            *(self._forward(i, "GET", "/jobs")
+              for i in range(len(self.backends))))
+        jobs: list[dict] = []
+        for index, (status, raw) in enumerate(polls):
+            if status >= 400:
+                continue
+            for job in self._decode(raw).get("jobs", []):
+                if isinstance(job, dict) and isinstance(job.get("id"),
+                                                        str):
+                    job = dict(job, id=self._tag(index, job["id"]),
+                               backend=self.backends[index])
+                jobs.append(job)
+        with self._fan_lock:
+            fans = [{"id": fan_id, "kind": "batch", "fanned": True,
+                     "parts": [{"backend": self.backends[p["shard"]],
+                                "job": p["job"]}
+                               for p in fan["parts"]]}
+                    for fan_id, fan in self._fans.items()]
+        return 200, {"jobs": jobs + fans}
+
+    async def _merged_health(self) -> tuple[int, dict]:
+        polls = await asyncio.gather(
+            *(self._forward(i, "GET", "/healthz")
+              for i in range(len(self.backends))))
+        ok = True
+        jobs: dict[str, int] = {}
+        backends = []
+        for index, (status, raw) in enumerate(polls):
+            payload = self._decode(raw)
+            up = status == 200 and bool(payload.get("ok"))
+            ok = ok and up
+            for key, value in (payload.get("jobs") or {}).items():
+                if isinstance(value, (int, float)):
+                    jobs[key] = jobs.get(key, 0) + value
+            entry: dict = {"url": self.backends[index], "ok": up}
+            if not up:
+                entry["error"] = payload.get("error")
+            backends.append(entry)
+        return 200, {"ok": ok, "router": True,
+                     "shards": len(self.backends),
+                     "jobs": jobs, "backends": backends}
+
+    async def _merged_metrics(self, query: str) -> tuple[int,
+                                                         dict | str]:
+        polls = await asyncio.gather(
+            *(self._forward(i, "GET", "/metrics?format=json")
+              for i in range(len(self.backends))))
+        merged = MetricsRegistry()
+        # The router's own registry first: its http route counters tell
+        # the fleet story (gauges merge last-writer-wins, so backend
+        # job gauges below overwrite the router's empty ones).
+        merged.merge(get_registry().snapshot())
+        for status, raw in polls:
+            if status >= 400:
+                continue
+            try:
+                merged.merge(self._decode(raw))
+            except (KeyError, TypeError, ValueError):
+                continue
+        if "format=json" in query:
+            return 200, merged.snapshot()
+        return 200, merged.render()
+
+
+# ---------------------------------------------------------------------------
+# Entry points: blocking route() for the CLI, RouterThread for embedding.
+# ---------------------------------------------------------------------------
+
+def route(backends, host: str = "127.0.0.1", port: int = 8730,
+          quiet: bool = False, log_level: str = "warning",
+          timeout: float = 300.0,
+          slow_request_ms: float = 1000.0) -> None:
+    """Run the fleet router until interrupted (``repro route``)."""
+    setup_logging(log_level)
+    router = DesignRouter(backends, host=host, port=port,
+                          timeout=timeout,
+                          slow_request_ms=slow_request_ms)
+
+    def announce(r: DesignRouter) -> None:
+        if not quiet:
+            print(f"repro fleet router on {r.url} -> "
+                  f"{len(r.backends)} backend(s): "
+                  + ", ".join(r.backends), flush=True)
+
+    def _terminate(signum, frame):  # pragma: no cover — signal path
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        asyncio.run(_serve_async(router, ready=announce))
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+class RouterThread(ServerOnThread):
+    """A :class:`DesignRouter` on a background thread.
+
+    ``with RouterThread([backend_url, ...]) as url: ...``
+    """
+
+    thread_name = "repro-route"
+
+    def __init__(self, backends, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 300.0,
+                 slow_request_ms: float = 1000.0):
+        super().__init__(DesignRouter(
+            backends, host=host, port=port, timeout=timeout,
+            slow_request_ms=slow_request_ms))

@@ -11,6 +11,12 @@ executor** (sized with ``max_jobs``, capped at 32 threads) while
 synchronous ``/generate`` work keeps asyncio's default executor, so a
 registry full of long-lived jobs cannot starve interactive requests.
 
+The HTTP layer itself (connection handling, request parsing, dispatch
+telemetry, JSON/text/chunked-stream responses) lives in
+:class:`HttpServerBase`, shared with the fleet router
+(:mod:`repro.service.router`), which speaks the same protocol in front
+of N of these servers.
+
 Endpoints (see ``docs/serving.md`` for the full reference):
 
 =======  ====================  ===========================================
@@ -18,15 +24,25 @@ method   path                  purpose
 =======  ====================  ===========================================
 GET      ``/healthz``          liveness + tiered cache stats + job counts
 GET      ``/metrics``          Prometheus text exposition of all telemetry
+                               (``?format=json`` → mergeable snapshot)
 GET      ``/backends``         registered emitter families + option schemas
 POST     ``/generate``         one design, synchronously (cache-first)
 POST     ``/batch``            many designs -> job id
 POST     ``/explore``          DSE search -> job id (checkpointed steps)
 GET      ``/jobs``             job summaries
 GET      ``/jobs/<id>``        full job status, result, checkpoint
+GET      ``/jobs/<id>/stream`` chunked NDJSON event stream of the job
 POST     ``/jobs/<id>/pause``  pause an exploration after its step
 POST     ``/jobs/<id>/resume`` resume a paused exploration
 =======  ====================  ===========================================
+
+When the engine has a cache, the job table is **journaled** under the
+first cache root (``<root>/jobs/``, see
+:mod:`repro.service.persist`): every transition and every exploration
+step's checkpoint hits disk, and a server rebooted on the same root
+reloads the table — interrupted explorations park as ``paused``
+(resumable via ``POST /jobs/<id>/resume``), interrupted batches fail
+with an error explaining the restart.
 
 Every ``POST /generate`` / ``/batch`` / ``/explore`` response carries a
 ``trace_id``: the request-scoped id stitched through every span the
@@ -66,13 +82,16 @@ from ..obs import (get_logger, get_registry, new_trace_id, setup_logging,
                    trace_context, trace_span)
 from .engine import BatchEngine
 from .jobs import JobRegistry, RegistryFull
+from .persist import JobJournal
 from .spec import DesignRequest, DesignResult
 
-__all__ = ["DesignServer", "ServerThread", "serve"]
+__all__ = ["DesignServer", "HttpServerBase", "ServerOnThread",
+           "ServerThread", "StreamPayload", "serve"]
 
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
-                500: "Internal Server Error", 503: "Service Unavailable"}
+                500: "Internal Server Error", 502: "Bad Gateway",
+                503: "Service Unavailable"}
 _MAX_BODY = 64 * 1024 * 1024
 
 _HTTP_REQUESTS = get_registry().counter(
@@ -91,7 +110,7 @@ _JOBS_GAUGE = get_registry().gauge(
 
 #: routes with an embedded job id, normalized for metric labels so the
 #: label set stays bounded (no per-id time series)
-_JOB_ACTIONS = ("pause", "resume")
+_JOB_ACTIONS = ("pause", "resume", "stream")
 
 
 def _route_label(path: str) -> str:
@@ -180,34 +199,79 @@ def _search_result_to_json(result) -> dict:
             "points": [_point_to_json(p) for p in result.points]}
 
 
-class DesignServer:
-    """The serving front end around one shared :class:`BatchEngine`."""
+class StreamPayload:
+    """Marker payload: a ``_route`` that returns one of these switches
+    the response to chunked ``application/x-ndjson`` streaming — one
+    JSON document per line, one chunk per event, connection closed when
+    the stream ends.  Subclasses implement :meth:`events`."""
 
-    def __init__(self, engine: BatchEngine | None = None,
-                 host: str = "127.0.0.1", port: int = 0,
-                 step_evals: float = 1.0, max_jobs: int = 1024,
+    async def events(self, closing: threading.Event):
+        """Async-iterate the stream's events (dicts are JSON-encoded,
+        strings pass through verbatim as one line)."""
+        raise NotImplementedError
+        yield  # pragma: no cover — makes this an async generator
+
+
+class _JobStream(StreamPayload):
+    """Live NDJSON view of one job: replays the buffered events, then
+    follows new ones at a small poll cadence *on the event loop* (no
+    executor thread is held), and terminates with an ``end`` event
+    carrying the full job dict once the job settles (done / failed /
+    paused) or the server starts closing."""
+
+    poll_s = 0.05
+
+    def __init__(self, job, include_checkpoint: bool = True):
+        self.job = job
+        self.include_checkpoint = include_checkpoint
+
+    def _strip(self, event: dict) -> dict:
+        if self.include_checkpoint or "checkpoint" not in event:
+            return event
+        return {k: v for k, v in event.items() if k != "checkpoint"}
+
+    async def events(self, closing: threading.Event):
+        cursor = 0
+        while True:
+            fresh, cursor = self.job.events_since(cursor)
+            for event in fresh:
+                yield self._strip(event)
+            if self.job.settled() or closing.is_set():
+                break
+            await asyncio.sleep(self.poll_s)
+        fresh, cursor = self.job.events_since(cursor)
+        for event in fresh:
+            yield self._strip(event)
+        yield {"event": "end",
+               "job": self.job.to_dict(
+                   include_checkpoint=self.include_checkpoint)}
+
+
+class HttpServerBase:
+    """Shared asyncio HTTP/1.1 front end of the serving tier.
+
+    Owns the socket lifecycle and the protocol plumbing — connection
+    handling with keep-alive, request parsing, dispatch with per-route
+    telemetry and slow-request logging, JSON/text responses plus
+    chunked NDJSON streams (:class:`StreamPayload`).  The design server
+    and the fleet router are both thin routing layers over this:
+    subclasses implement :meth:`_route` and may override
+    :meth:`_route_raw` to answer before the JSON body is even parsed
+    (the router's warm proxy path).
+    """
+
+    log_name = "serve"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  reuse_port: bool = False,
                  slow_request_ms: float = 1000.0):
-        self.engine = engine if engine is not None else BatchEngine()
         self.host = host
         self.port = port
         self.reuse_port = reuse_port
         #: requests slower than this are logged at WARNING with their
         #: route and trace id (0 disables the check)
         self.slow_request_ms = slow_request_ms
-        self._log = get_logger("serve")
-        #: default checkpoint step of `/explore` jobs, in
-        #: full-model-equivalents (smaller = finer pause granularity)
-        self.step_evals = step_evals
-        self.jobs = JobRegistry(max_jobs=max_jobs)
-        # Long-lived /batch and /explore job bodies get their own
-        # bounded pool, sized consistently with the job registry: the
-        # asyncio *default* executor (~32 threads) stays reserved for
-        # synchronous /generate work, so a registry full of long jobs
-        # can no longer starve interactive requests.
-        self._job_executor = ThreadPoolExecutor(
-            max_workers=max(1, min(max_jobs, 32)),
-            thread_name_prefix="repro-job")
+        self._log = get_logger(self.log_name)
         self._server: asyncio.AbstractServer | None = None
         self._closing = threading.Event()
         self._tasks: set = set()
@@ -215,7 +279,7 @@ class DesignServer:
 
     # -- lifecycle ---------------------------------------------------------
 
-    async def start(self) -> "DesignServer":
+    async def start(self) -> "HttpServerBase":
         kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
@@ -228,9 +292,6 @@ class DesignServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Queued-but-unstarted job bodies are dropped; running ones see
-        # _closing at their next checkpoint and park themselves.
-        self._job_executor.shutdown(wait=False, cancel_futures=True)
         # Nudge idle keep-alive connections so their handler coroutines
         # finish cleanly instead of being cancelled at loop teardown.
         for writer in list(self._writers):
@@ -250,6 +311,17 @@ class DesignServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- routing hooks (subclass responsibility) ---------------------------
+
+    async def _route(self, method, path, query, data) -> tuple[int, dict]:
+        raise NotImplementedError
+
+    async def _route_raw(self, method, path, query, body):
+        """Pre-parse fast path: return ``(status, payload)`` to answer
+        without JSON-decoding *body*, or ``None`` to fall through to
+        :meth:`_route`."""
+        return None
+
     # -- HTTP plumbing -----------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -264,6 +336,13 @@ class DesignServer:
                 status, payload = await self._dispatch(method, path, body)
                 keep_alive = (headers.get("connection", "").lower()
                               != "close")
+                if isinstance(payload, StreamPayload):
+                    # Streams close the connection when they end: the
+                    # terminating zero-chunk plus Connection: close is
+                    # simpler and safer than re-synchronizing
+                    # keep-alive framing after an aborted stream.
+                    await self._respond_stream(writer, status, payload)
+                    break
                 await self._respond(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -311,10 +390,15 @@ class DesignServer:
     async def _respond(self, writer, status: int, payload,
                        keep_alive: bool) -> None:
         # A ``str`` payload is served verbatim as text (the Prometheus
-        # exposition of /metrics); everything else is JSON.
+        # exposition of /metrics); ``bytes`` pass through as
+        # already-encoded JSON (the router's proxy path); everything
+        # else is JSON-encoded here.
         if isinstance(payload, str):
             data = payload.encode()
             ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif isinstance(payload, bytes):
+            data = payload
+            ctype = "application/json"
         else:
             data = json.dumps(payload).encode()
             ctype = "application/json"
@@ -326,7 +410,23 @@ class DesignServer:
         writer.write(head.encode("ascii") + data)
         await writer.drain()
 
-    # -- routing -----------------------------------------------------------
+    async def _respond_stream(self, writer, status: int,
+                              stream: StreamPayload) -> None:
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        async for event in stream.events(self._closing):
+            line = event if isinstance(event, str) else json.dumps(event)
+            data = line.encode() + b"\n"
+            writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str,
                         body: bytes) -> tuple[int, dict]:
@@ -334,22 +434,27 @@ class DesignServer:
         route = _route_label(path)
         t0 = time.perf_counter()
         try:
-            data = json.loads(body.decode()) if body else {}
-        except (ValueError, UnicodeDecodeError) as exc:
-            status, payload = 400, {"error": f"malformed JSON body: {exc}"}
-        else:
-            try:
-                status, payload = await self._route(method, path, query,
-                                                    data)
-            except _BadRequest as exc:
-                status, payload = 400, {"error": str(exc)}
-            except RegistryFull as exc:
-                status, payload = 503, {"error": str(exc)}
-            except Exception as exc:  # noqa: BLE001 — must not die
-                status = 500
-                payload = {"error": f"{type(exc).__name__}: {exc}",
-                           "traceback": traceback.format_exc()}
-                self._log.error("500 on %s %s: %s", method, path, exc)
+            answer = await self._route_raw(method, path, query, body)
+            if answer is not None:
+                status, payload = answer
+            else:
+                try:
+                    data = json.loads(body.decode()) if body else {}
+                except (ValueError, UnicodeDecodeError) as exc:
+                    status, payload = 400, {
+                        "error": f"malformed JSON body: {exc}"}
+                else:
+                    status, payload = await self._route(method, path,
+                                                        query, data)
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except RegistryFull as exc:
+            status, payload = 503, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — must not die
+            status = 500
+            payload = {"error": f"{type(exc).__name__}: {exc}",
+                       "traceback": traceback.format_exc()}
+            self._log.error("500 on %s %s: %s", method, path, exc)
         elapsed = time.perf_counter() - t0
         _HTTP_SECONDS.labels(route=route).observe(elapsed)
         _HTTP_REQUESTS.labels(route=route, method=method,
@@ -367,6 +472,70 @@ class DesignServer:
                             status, elapsed * 1000.0)
         return status, payload
 
+
+class DesignServer(HttpServerBase):
+    """The serving front end around one shared :class:`BatchEngine`.
+
+    With a cached engine and ``persist_jobs=True`` (the default) the
+    job table is journaled under ``<first cache root>/jobs/`` and
+    reloaded on construction — see the module docstring's recovery
+    matrix.  ``job_workers`` overrides the job-body executor width
+    (defaults to ``min(max_jobs, 32)``).
+    """
+
+    def __init__(self, engine: BatchEngine | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 step_evals: float = 1.0, max_jobs: int = 1024,
+                 reuse_port: bool = False,
+                 slow_request_ms: float = 1000.0,
+                 persist_jobs: bool = True,
+                 job_workers: int | None = None):
+        super().__init__(host=host, port=port, reuse_port=reuse_port,
+                         slow_request_ms=slow_request_ms)
+        self.engine = engine if engine is not None else BatchEngine()
+        #: default checkpoint step of `/explore` jobs, in
+        #: full-model-equivalents (smaller = finer pause granularity)
+        self.step_evals = step_evals
+        journal = None
+        if persist_jobs and self.engine.cache is not None:
+            journal = JobJournal(self.engine.cache.root / "jobs")
+        self.journal = journal
+        self.jobs = JobRegistry(max_jobs=max_jobs, journal=journal)
+        #: boot-recovery summary ({"jobs": n, "resumable": n,
+        #: "failed": n}; all zero on a fresh root or without a journal)
+        self.recovered = self.jobs.restore()
+        if self.recovered.get("jobs"):
+            self._log.info(
+                "restored %d journaled job(s): %d exploration(s) parked "
+                "paused (resumable), %d interrupted batch(es) failed",
+                self.recovered["jobs"], self.recovered["resumable"],
+                self.recovered["failed"])
+        # Long-lived /batch and /explore job bodies get their own
+        # bounded pool, sized consistently with the job registry: the
+        # asyncio *default* executor (~32 threads) stays reserved for
+        # synchronous /generate work, so a registry full of long jobs
+        # can no longer starve interactive requests.
+        self._job_executor = ThreadPoolExecutor(
+            max_workers=(job_workers if job_workers
+                         else max(1, min(max_jobs, 32))),
+            thread_name_prefix="repro-job")
+
+    async def stop(self) -> None:
+        self._closing.set()
+        # Queued-but-unstarted job bodies are dropped; running ones see
+        # _closing at their next checkpoint and park themselves.
+        self._job_executor.shutdown(wait=False, cancel_futures=True)
+        # The dropped queued jobs would otherwise sit "queued" forever
+        # and hang every wait() on them: transition them now — explore
+        # parks paused (resumable, and journaled for the next boot),
+        # batch fails with an explanation.
+        swept = self.jobs.sweep_shutdown()
+        if any(swept.values()):
+            self._log.info("shutdown swept queued jobs: %s", swept)
+        await super().stop()
+
+    # -- routing -----------------------------------------------------------
+
     async def _route(self, method, path, query, data) -> tuple[int, dict]:
         if path == "/healthz":
             if method != "GET":
@@ -375,6 +544,8 @@ class DesignServer:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "use GET /metrics"}
+            if "format=json" in query:
+                return 200, self._metrics_snapshot()
             return 200, self._metrics()
         if path == "/backends":
             if method != "GET":
@@ -410,17 +581,31 @@ class DesignServer:
                 "jobs": self.jobs.counts(),
                 "workers": self.engine.workers,
                 "backends": list(backend_names()),
+                "persist": self.journal is not None,
+                "recovered": self.recovered,
                 "cache": (dict(cache.stats.as_dict(),
                                root=str(cache.root),
+                               shards=len(cache.roots),
                                tiers=cache.stats.tiers())
                           if cache is not None else None)}
+
+    def _refresh_job_gauges(self) -> None:
+        for status, count in self.jobs.counts().items():
+            _JOBS_GAUGE.labels(status=status).set(count)
 
     def _metrics(self) -> str:
         """The Prometheus text exposition of the process-wide registry
         (gauges that describe current state are refreshed first)."""
-        for status, count in self.jobs.counts().items():
-            _JOBS_GAUGE.labels(status=status).set(count)
+        self._refresh_job_gauges()
         return get_registry().render()
+
+    def _metrics_snapshot(self) -> dict:
+        """The registry as a mergeable JSON snapshot
+        (``GET /metrics?format=json``) — what the fleet router folds
+        across backends with :meth:`MetricsRegistry.merge` to serve
+        one combined exposition."""
+        self._refresh_job_gauges()
+        return get_registry().snapshot()
 
     # -- endpoint handlers -------------------------------------------------
 
@@ -537,7 +722,7 @@ class DesignServer:
                               f"{params['objective']!r}; expected "
                               f"{sorted(OBJECTIVES)}")
         job = self.jobs.create("explore", params)
-        job.checkpoint = checkpoint
+        job.set_checkpoint(checkpoint)
         job.trace_id = new_trace_id()
         self._submit(self._run_explore_job, job)
         return 202, {"job": job.id, "status": job.status,
@@ -557,6 +742,11 @@ class DesignServer:
                 return 405, {"error": "use GET /jobs/<id>"}
             include_ckpt = "checkpoint=0" not in query
             return 200, job.to_dict(include_checkpoint=include_ckpt)
+        if action == "stream":
+            if method != "GET":
+                return 405, {"error": "use GET /jobs/<id>/stream"}
+            include_ckpt = "checkpoint=0" not in query
+            return 200, _JobStream(job, include_checkpoint=include_ckpt)
         if method != "POST":
             return 405, {"error": f"use POST /jobs/<id>/{action}"}
         if action == "pause":
@@ -592,8 +782,14 @@ class DesignServer:
             job.start()
             include_rtl = job.params.get("include_rtl", False)
 
-            def progress(done, total, _result):
+            def progress(done, total, result):
                 job.update_progress(done=done, total=total)
+                # One stream event per finished request, so
+                # /jobs/<id>/stream readers see results as they land
+                # instead of waiting for the terminal summary.
+                job.emit({"event": "result", "done": done, "total": total,
+                          "result": _result_to_json(
+                              result, include_rtl=include_rtl)})
 
             # Job bodies run on executor threads, which never inherit
             # the submitting request's context — re-bind the job's
@@ -657,8 +853,14 @@ class DesignServer:
                            and snapshot.evals_used
                            <= job.checkpoint.get("evals_used", -1.0))
                 ckpt = snapshot.to_dict()
-                job.checkpoint = ckpt
+                # set_checkpoint (vs plain assignment) journals the
+                # snapshot, so a SIGKILL between steps loses at most
+                # the step in flight.
+                job.set_checkpoint(ckpt)
                 job.update_progress(**snapshot.progress())
+                job.emit({"event": "checkpoint",
+                          "progress": snapshot.progress(),
+                          "checkpoint": ckpt})
                 if result is not None:
                     job.finish(_search_result_to_json(result))
                     return
@@ -699,7 +901,9 @@ def _engine_spec(engine: BatchEngine) -> dict:
     boundary)."""
     spec: dict = {"workers": engine.workers, "cache": None}
     if engine.cache is not None:
-        spec["cache"] = {"root": str(engine.cache.root),
+        # All shard roots, in order: the sibling must agree on the
+        # key→shard mapping or it would miss every warm entry.
+        spec["cache"] = {"root": [str(r) for r in engine.cache.roots],
                          "memory_entries": engine.cache.memory_entries,
                          "disk_entries": engine.cache.disk_entries}
     return spec
@@ -715,9 +919,14 @@ def _serve_worker(engine_spec, host, port, step_evals,
     cache = (DesignCache(**engine_spec["cache"])
              if engine_spec["cache"] is not None else None)
     engine = BatchEngine(cache=cache, workers=engine_spec["workers"])
+    # Only the primary process journals jobs: siblings sharing the
+    # journal directory would each re-adopt (and could double-resume)
+    # the same journaled jobs at boot.  Jobs are per-connection-
+    # consistent anyway (see serve() below).
     server = DesignServer(engine=engine, host=host, port=port,
                           step_evals=step_evals, reuse_port=True,
-                          slow_request_ms=slow_request_ms)
+                          slow_request_ms=slow_request_ms,
+                          persist_jobs=False)
     try:
         asyncio.run(_serve_async(server))
     except KeyboardInterrupt:  # pragma: no cover — parent tears us down
@@ -728,7 +937,8 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
           port: int = 8731, step_evals: float = 1.0,
           processes: int = 1, quiet: bool = False,
           log_level: str = "warning",
-          slow_request_ms: float = 1000.0) -> None:
+          slow_request_ms: float = 1000.0,
+          persist: bool = True) -> None:
     """Run the server until interrupted (the ``repro serve`` command).
 
     ``processes > 1`` forks that many SO_REUSEPORT siblings sharing the
@@ -742,13 +952,20 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
     *log_level* configures the ``repro.*`` stdlib loggers (see
     :func:`repro.obs.setup_logging`); requests slower than
     *slow_request_ms* are logged at WARNING with their trace id.
+
+    *persist* (default on; ``repro serve --no-persist-jobs`` turns it
+    off) journals the job table under the cache root so a restart on
+    the same root recovers it.  With ``processes > 1`` only the primary
+    process journals — siblings sharing one journal directory would
+    each re-adopt the same jobs at boot.
     """
     setup_logging(log_level)
     workers: list = []
     server = DesignServer(engine=engine, host=host, port=port,
                           step_evals=step_evals,
                           reuse_port=processes > 1,
-                          slow_request_ms=slow_request_ms)
+                          slow_request_ms=slow_request_ms,
+                          persist_jobs=persist)
     if processes > 1:
         import multiprocessing
 
@@ -795,21 +1012,15 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
             worker.join(timeout=10)
 
 
-class ServerThread:
-    """A :class:`DesignServer` on a background thread (tests, benchmarks,
-    notebooks).  Context-manager friendly:
+class ServerOnThread:
+    """Run any :class:`HttpServerBase` on a background thread (tests,
+    benchmarks, notebooks).  Context-manager friendly; subclasses
+    construct ``self.server`` and call ``super().__init__(server)``."""
 
-    ``with ServerThread(engine) as url: ...``
-    """
+    thread_name = "repro-serve"
 
-    def __init__(self, engine: BatchEngine | None = None,
-                 host: str = "127.0.0.1", port: int = 0,
-                 step_evals: float = 1.0, max_jobs: int = 1024,
-                 slow_request_ms: float = 1000.0):
-        self.server = DesignServer(engine=engine, host=host, port=port,
-                                   step_evals=step_evals,
-                                   max_jobs=max_jobs,
-                                   slow_request_ms=slow_request_ms)
+    def __init__(self, server: HttpServerBase):
+        self.server = server
         self._ready = threading.Event()
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -824,9 +1035,9 @@ class ServerThread:
     def port(self) -> int:
         return self.server.port
 
-    def start(self) -> "ServerThread":
+    def start(self) -> "ServerOnThread":
         self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="repro-serve")
+                                        name=self.thread_name)
         self._thread.start()
         if not self._ready.wait(timeout=30) or self._error is not None:
             raise RuntimeError(f"server failed to start: {self._error}")
@@ -859,3 +1070,21 @@ class ServerThread:
         self._ready.set()
         await self._stop_event.wait()
         await self.server.stop()
+
+
+class ServerThread(ServerOnThread):
+    """A :class:`DesignServer` on a background thread.
+
+    ``with ServerThread(engine) as url: ...``
+    """
+
+    def __init__(self, engine: BatchEngine | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 step_evals: float = 1.0, max_jobs: int = 1024,
+                 slow_request_ms: float = 1000.0,
+                 persist_jobs: bool = True,
+                 job_workers: int | None = None):
+        super().__init__(DesignServer(
+            engine=engine, host=host, port=port, step_evals=step_evals,
+            max_jobs=max_jobs, slow_request_ms=slow_request_ms,
+            persist_jobs=persist_jobs, job_workers=job_workers))

@@ -1,0 +1,282 @@
+"""Fleet router tests: spec-hash shard routing (and its raw-body LRU),
+multi-shard batch fan-out with in-order merge, explore round-robin,
+namespaced job forwarding (poll/pause/resume/stream through the
+router), merged /jobs, /healthz and /metrics, and backend-failure
+surfacing (502 with the backend named)."""
+
+import threading
+
+import pytest
+
+from repro.service import (BatchEngine, DesignCache, RouterThread,
+                           ServerThread, ServiceClient, ServiceError)
+from repro.service.router import DesignRouter
+from repro.service.server import _request_from_body
+
+SMALL_SPACE = {
+    "arrays": [[8, 8], [16, 16]],
+    "buffer_kb": [128.0, 256.0],
+    "dram_gbps": [16.0],
+    "dataflow_sets": [["ICOC"], ["MN", "ICOC"]],
+}
+
+TINY = {"kernel": "gemm", "dataflows": ["KJ"], "array": [2, 2]}
+
+
+def _shard_of(spec: dict, n: int = 2) -> int:
+    return int(_request_from_body(spec).spec_hash()[:2], 16) % n
+
+
+def _specs_for_shard(index: int, count: int, n: int = 2) -> list[dict]:
+    """Distinct specs that all route to backend *index*."""
+    out = []
+    for a in range(2, 40):
+        for b in range(2, 40):
+            spec = {"kernel": "gemm", "array": [a, b]}
+            if _shard_of(spec, n) == index:
+                out.append(spec)
+                if len(out) == count:
+                    return out
+    raise AssertionError("design space too small for shard sampling")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    backends = [
+        ServerThread(BatchEngine(
+            cache=DesignCache(root=root / f"shard-{i}"))).start()
+        for i in range(2)]
+    router = RouterThread([b.url for b in backends]).start()
+    yield router, backends
+    router.stop()
+    for backend in backends:
+        backend.stop()
+
+
+@pytest.fixture()
+def client(fleet):
+    router, _backends = fleet
+    with ServiceClient.from_url(router.url) as c:
+        yield c
+
+
+class TestShardRouting:
+    def test_shard_for_matches_cache_prefix_rule(self, fleet):
+        router, _ = fleet
+        assert router.server.shard_for("00" + "0" * 62) == 0
+        assert router.server.shard_for("01" + "0" * 62) == 1
+        assert router.server.shard_for("ff" + "0" * 62) == 1
+
+    def test_generate_lands_on_owning_shard(self, fleet, client):
+        _, backends = fleet
+        spec = _specs_for_shard(1, 1)[0]
+        result = client.generate(spec)
+        assert result["ok"]
+        # only the owning backend's cache holds the design
+        owner = backends[1].server.engine.cache
+        other = backends[0].server.engine.cache
+        assert result["spec_hash"] in owner.keys()
+        assert result["spec_hash"] not in other.keys()
+
+    def test_repeat_generate_is_warm_and_cached_route(self, fleet,
+                                                      client):
+        router, _ = fleet
+        spec = _specs_for_shard(0, 1)[0]
+        first = client.generate(spec)
+        before = len(router.server._route_cache)
+        second = client.generate(spec)
+        assert second["from_cache"]
+        assert second["spec_hash"] == first["spec_hash"]
+        # the repeat body was answered from the routing LRU, not parsed
+        assert len(router.server._route_cache) == before
+
+    def test_route_cache_is_bounded(self):
+        router = DesignRouter(["http://127.0.0.1:1"])
+        router.route_cache_entries = 4
+        for i in range(10):
+            with router._route_lock:
+                router._route_cache[b"body-%d" % i] = 0
+                while (len(router._route_cache)
+                       > router.route_cache_entries):
+                    router._route_cache.popitem(last=False)
+        assert len(router._route_cache) == 4
+        assert b"body-9" in router._route_cache
+
+    def test_bad_generate_body_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/generate", {"request":
+                                                 {"kernel": "nope"}})
+        assert err.value.status == 400
+
+
+class TestBatchFanOut:
+    def test_single_shard_batch_forwards_wholesale(self, fleet, client):
+        specs = _specs_for_shard(0, 3)
+        job_id = client.batch(specs)
+        assert job_id.startswith("s0.")
+        final = client.wait(job_id, timeout=180)
+        assert final["status"] == "done"
+        assert final["result"]["ok"] == 3
+
+    def test_multi_shard_batch_merges_in_order(self, fleet, client):
+        specs = (_specs_for_shard(0, 2) + _specs_for_shard(1, 2)
+                 + _specs_for_shard(0, 1))
+        job_id = client.batch(specs)
+        assert job_id.startswith("fan-")
+        final = client.wait(job_id, timeout=180)
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["ok"] == len(specs)
+        assert len(result["results"]) == len(specs)
+        for record, spec in zip(result["results"], specs):
+            assert record["spec_hash"] == \
+                _request_from_body(spec).spec_hash()
+        assert [p["status"] for p in final["parts"]] == ["done", "done"]
+
+    def test_fanned_job_rejects_actions(self, fleet, client):
+        specs = _specs_for_shard(0, 1) + _specs_for_shard(1, 1)
+        job_id = client.batch(specs)
+        with pytest.raises(ServiceError) as err:
+            client.pause(job_id)
+        assert err.value.status == 400
+        client.wait(job_id, timeout=180)
+
+    def test_fanned_job_listed(self, fleet, client):
+        specs = _specs_for_shard(0, 1) + _specs_for_shard(1, 1)
+        job_id = client.batch(specs)
+        client.wait(job_id, timeout=180)
+        fans = [j for j in client.jobs() if j.get("fanned")]
+        assert job_id in {j["id"] for j in fans}
+        assert all(len(j["parts"]) == 2 for j in fans
+                   if j["id"] == job_id)
+
+
+class TestJobForwarding:
+    def test_explore_round_robin_tags_backend(self, fleet, client):
+        first = client.request("POST", "/explore",
+                               {"models": ["LeNet"],
+                                "strategy": "exhaustive",
+                                "space": SMALL_SPACE})
+        second = client.request("POST", "/explore",
+                                {"models": ["LeNet"],
+                                 "strategy": "exhaustive",
+                                 "space": SMALL_SPACE})
+        shards = {first["job"].split(".")[0], second["job"].split(".")[0]}
+        assert shards == {"s0", "s1"}
+        for job in (first["job"], second["job"]):
+            final = client.wait(job, timeout=180)
+            assert final["status"] == "done"
+            assert final["id"] == job  # re-tagged with the router name
+
+    def test_pause_resume_through_router(self, fleet, client):
+        job_id = client.explore(models=["LeNet"], strategy="anneal",
+                                max_evals=10, seed=5, space=SMALL_SPACE,
+                                step_evals=1)
+        client.pause(job_id)
+        state = client.wait(job_id)
+        if state["status"] == "paused":
+            client.resume(job_id)
+            state = client.wait(job_id, timeout=180)
+        assert state["status"] == "done"
+
+    def test_stream_proxied_through_router(self, fleet, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, step_evals=1)
+        events = list(client.stream(job_id))
+        kinds = [e.get("event") for e in events]
+        assert kinds[-1] == "end"
+        assert "checkpoint" in kinds[:-1]
+        assert events[-1]["job"]["id"] == job_id  # re-tagged
+        assert events[-1]["job"]["status"] == "done"
+
+    def test_unknown_job_id_shapes_404(self, client):
+        for job_id in ("nope", "s0.nope", "s9.explore-1-abc"):
+            with pytest.raises(ServiceError) as err:
+                client.job(job_id)
+            assert err.value.status == 404
+
+
+class TestMergedReads:
+    def test_health_merges_backends(self, fleet, client):
+        health = client.health()
+        assert health["ok"] and health["router"]
+        assert health["shards"] == 2
+        assert [b["ok"] for b in health["backends"]] == [True, True]
+        assert set(health["jobs"]) >= {"queued", "running", "done"}
+
+    def test_jobs_merged_and_namespaced(self, fleet, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE)
+        client.wait(job_id, timeout=180)
+        jobs = client.jobs()
+        mine = [j for j in jobs if j.get("id") == job_id]
+        assert len(mine) == 1
+        assert mine[0]["backend"] in {b["url"] for b in
+                                      client.health()["backends"]}
+
+    def test_metrics_merged_exposition(self, fleet, client):
+        client.generate(TINY)
+        text = client.metrics()
+        assert "repro_cache_get_total" in text or "cache" in text
+        assert "# TYPE" in text
+
+    def test_backends_forwarded(self, client):
+        families = client.backends()
+        assert any(f["name"] == "verilog" for f in families)
+
+
+class TestBackendFailure:
+    def test_dead_backend_502_names_backend(self, tmp_path):
+        backend = ServerThread(BatchEngine(
+            cache=DesignCache(root=tmp_path / "cache"))).start()
+        dead_url = "http://127.0.0.1:9"  # discard port — nothing there
+        router = RouterThread([backend.url, dead_url]).start()
+        try:
+            with ServiceClient.from_url(router.url) as c:
+                spec = _specs_for_shard(1, 1)[0]
+                with pytest.raises(ServiceError) as err:
+                    c.generate(spec)
+                assert err.value.status == 502
+                assert "127.0.0.1:9" in str(err.value)
+                # the healthy shard still serves
+                live = _specs_for_shard(0, 1)[0]
+                assert c.generate(live)["ok"]
+                health = c.health()
+                assert health["ok"] is False
+                assert [b["ok"] for b in health["backends"]] == [True,
+                                                                 False]
+        finally:
+            router.stop()
+            backend.stop()
+
+    def test_router_requires_backends(self):
+        with pytest.raises(ValueError):
+            DesignRouter([])
+
+
+class TestRouterConcurrency:
+    def test_warm_fanout_many_threads(self, fleet, client):
+        router, _ = fleet
+        specs = _specs_for_shard(0, 4) + _specs_for_shard(1, 4)
+        for spec in specs:
+            client.generate(spec)  # prime both shards
+        failures = []
+
+        def hammer(worker):
+            try:
+                with ServiceClient.from_url(router.url) as c:
+                    for i in range(12):
+                        result = c.generate(specs[(worker + i)
+                                                  % len(specs)])
+                        assert result["from_cache"], "expected warm hit"
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"worker {worker}: {exc}")
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures

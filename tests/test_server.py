@@ -343,6 +343,90 @@ class TestExploreJobs:
         client.wait(job_id, timeout=180)
 
 
+class TestStreaming:
+    def test_explore_stream_checkpoints_then_end(self, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, step_evals=1)
+        events = list(client.stream(job_id))
+        kinds = [e.get("event") for e in events]
+        assert kinds[-1] == "end"
+        assert set(kinds[:-1]) == {"checkpoint"}
+        assert len(kinds) >= 2  # at least one step before the end
+        for event in events[:-1]:
+            assert event["progress"]["points_evaluated"] >= 0
+            assert event["checkpoint"]["rows"] is not None
+        final = events[-1]["job"]
+        assert final["status"] == "done"
+        assert final["id"] == job_id
+        # the stream's terminal snapshot matches a regular poll
+        assert client.job(job_id)["result"] == final["result"]
+
+    def test_batch_stream_yields_per_request_results(self, client):
+        requests = [{"kernel": "gemm", "array": [n, n]}
+                    for n in (2, 3, 4)]
+        job_id = client.batch(requests)
+        events = list(client.stream(job_id))
+        results = [e for e in events if e.get("event") == "result"]
+        assert len(results) == len(requests)
+        assert {r["result"]["spec_hash"] for r in results} \
+            == {r["spec_hash"]
+                for r in events[-1]["job"]["result"]["results"]}
+        assert [e.get("event") for e in events][-1] == "end"
+        assert sorted(r["done"] for r in results) == [1, 2, 3]
+
+    def test_stream_of_finished_job_replays_and_ends(self, client):
+        job_id = client.batch([dict(TINY)])
+        client.wait(job_id, timeout=180)
+        events = list(client.stream(job_id))
+        assert events[-1]["event"] == "end"
+        assert events[-1]["job"]["status"] == "done"
+
+    def test_stream_checkpoint_opt_out(self, client):
+        job_id = client.explore(models=["LeNet"], strategy="exhaustive",
+                                space=SMALL_SPACE, step_evals=1)
+        events = list(client.stream(job_id, checkpoint=False))
+        for event in events[:-1]:
+            assert "checkpoint" not in event
+        assert "checkpoint" not in events[-1]["job"]
+
+    def test_stream_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            list(client.stream("explore-999-nope"))
+        assert err.value.status == 404
+
+    def test_stream_is_chunked_ndjson(self, server, client):
+        job_id = client.batch([dict(TINY)])
+        client.wait(job_id, timeout=180)
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            assert response.getheader("Content-Type") \
+                == "application/x-ndjson"
+            assert response.getheader("Connection") == "close"
+            for line in response:
+                if line.strip():
+                    json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def test_abandoned_stream_frees_the_server(self, server, client):
+        """Closing a stream early must not wedge the server or the
+        job."""
+        job_id = client.explore(models=["LeNet"], strategy="anneal",
+                                max_evals=6, seed=2, space=SMALL_SPACE,
+                                step_evals=1)
+        stream = client.stream(job_id)
+        next(stream)
+        stream.close()  # abandon mid-stream
+        final = client.wait(job_id, timeout=180)
+        assert final["status"] == "done"
+        assert client.health()["ok"]
+
+
 class TestKeepAlive:
     def test_connection_reuse(self, server):
         conn = http.client.HTTPConnection("127.0.0.1", server.port,
