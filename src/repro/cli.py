@@ -20,7 +20,15 @@ Commands
                ``serve`` backends by spec-hash shard;
 ``metrics``    print telemetry as Prometheus text (this process's
                registry, or a running server's ``GET /metrics``);
-``trace``      summarize an exported Chrome/Perfetto trace file.
+``trace``      summarize an exported Chrome/Perfetto trace file, or pull
+               the live (router-merged) span buffer off a running
+               server/fleet with ``--url``;
+``profile``    capture a CPU flamegraph: of a running server/fleet with
+               ``--url`` (``GET /debug/profile``), or of a local
+               calibration workload;
+``top``        live auto-refreshing terminal dashboard of a running
+               server or fleet (rates, latency quantiles, cache tiers,
+               jobs, backend health).
 """
 
 from __future__ import annotations
@@ -267,7 +275,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           step_evals=args.step_evals, processes=args.processes,
           log_level=args.log_level,
           slow_request_ms=args.slow_request_ms,
-          persist=not args.no_persist_jobs)
+          persist=not args.no_persist_jobs,
+          profile_hz=args.profile_hz if args.profile else None,
+          history_interval_s=args.history_interval)
     return 0
 
 
@@ -276,7 +286,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
     route(backends=args.backend, host=args.host, port=args.port,
           log_level=args.log_level, timeout=args.timeout,
-          slow_request_ms=args.slow_request_ms)
+          slow_request_ms=args.slow_request_ms,
+          profile_hz=args.profile_hz if args.profile else None,
+          history_interval_s=args.history_interval)
     return 0
 
 
@@ -296,14 +308,43 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import load_chrome_trace
 
-    try:
-        events = load_chrome_trace(args.file)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
+    if bool(args.file) == bool(args.url):
+        print("give exactly one of: a trace FILE, or --url to pull the "
+              "live span buffer off a running server/fleet",
+              file=sys.stderr)
         return 2
+    if args.url:
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            with ServiceClient.from_url(args.url) as client:
+                payload = client.trace(drain=args.drain,
+                                       trace_id=args.trace_id)
+        except (OSError, ServiceError) as exc:
+            print(f"cannot pull trace from {args.url}: {exc}",
+                  file=sys.stderr)
+            return 2
+        events = [e for e in payload.get("traceEvents", [])
+                  if isinstance(e, dict)]
+        source = args.url
+        if payload.get("merged_from"):
+            source += f" (merged from {payload['merged_from']} processes)"
+        if args.out:
+            pathlib.Path(args.out).write_text(json.dumps(
+                {"traceEvents": events, "displayTimeUnit": "ms"},
+                indent=1))
+            print(f"wrote {len(events)} trace events to {args.out} "
+                  f"(load at https://ui.perfetto.dev)")
+    else:
+        try:
+            events = load_chrome_trace(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        source = args.file
     spans = [e for e in events
              if e.get("ph") == "X" and "ts" in e and "dur" in e]
-    print(f"{args.file}: {len(events)} events "
+    print(f"{source}: {len(events)} events "
           f"({len(spans)} complete spans)")
     if not spans:
         return 0
@@ -329,6 +370,119 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"... {len(ranked) - args.top} more span names "
               f"(raise --top)")
     return 0
+
+
+def _print_profile(profile, args) -> None:
+    phases = sorted(profile.by_phase.items(), key=lambda kv: -kv[1])
+    # self% is over the population actually shown: busy samples, or
+    # every sample when idle stacks are included
+    busy = max(1, profile.samples if args.include_idle
+               else profile.samples - profile.idle_samples)
+    print(f"{profile.samples} samples over {profile.wall_s:.1f}s at "
+          f"{profile.hz:g} Hz ({profile.idle_samples} idle)")
+    if phases:
+        print("by phase: " + "  ".join(
+            f"{name}={count}" for name, count in phases[:8]))
+    rows = profile.top(args.top, include_idle=args.include_idle)
+    if rows:
+        print(f"{'frame':40s}{'self':>7s}{'self%':>7s}{'total':>7s}")
+        for row in rows:
+            print(f"{row['frame'][:40]:40s}{row['self']:7d}"
+                  f"{100 * row['self'] / busy:6.1f}%{row['total']:7d}")
+    if args.collapsed_out:
+        text = profile.collapsed(include_idle=args.include_idle)
+        pathlib.Path(args.collapsed_out).write_text(text + "\n")
+        print(f"wrote {len(text.splitlines())} collapsed stacks to "
+              f"{args.collapsed_out} (feed to flamegraph.pl or "
+              f"https://www.speedscope.app)")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import Profile, profile_for
+
+    if args.url:
+        from .service.client import ServiceClient, ServiceError
+
+        timeout = max(60.0, 2.0 * args.seconds + 30.0)
+        try:
+            with ServiceClient.from_url(args.url,
+                                        timeout=timeout) as client:
+                payload = client.profile(
+                    seconds=None if args.snapshot else args.seconds,
+                    hz=args.hz)
+        except (OSError, ServiceError) as exc:
+            print(f"cannot profile {args.url}: {exc}", file=sys.stderr)
+            return 2
+        profile = Profile.from_dict(payload)
+        where = args.url
+        if payload.get("merged_from"):
+            where += f" (merged from {payload['merged_from']} processes)"
+        print(f"profile of {where}:")
+    else:
+        # No server given: sample *this* process while it churns
+        # through a small calibration workload, so the flamegraph shows
+        # the real generation pipeline.
+        import threading
+
+        from .service.spec import DesignRequest
+
+        engine = _build_engine(args)
+        stop = threading.Event()
+        arrays = ((4, 4), (8, 8), (12, 12))
+
+        def churn() -> None:
+            i = 0
+            while not stop.is_set():
+                engine.submit(DesignRequest(kernel="gemm",
+                                            dataflows=("KJ",),
+                                            array=arrays[i % len(arrays)]))
+                i += 1
+
+        worker = threading.Thread(target=churn, daemon=True,
+                                  name="repro-profile-workload")
+        worker.start()
+        profile = profile_for(args.seconds, args.hz)
+        stop.set()
+        worker.join(timeout=30)
+        print("profile of a local generate workload:")
+    _print_profile(profile, args)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import render_dashboard
+    from .service.client import ServiceClient, ServiceError
+
+    clear = sys.stdout.isatty() and not args.no_clear
+    prev = None
+    prev_ts = None
+    shown = 0
+    with ServiceClient.from_url(args.url) as client:
+        while True:
+            try:
+                health = client.health()
+                curr = client.metrics_snapshot()
+            except (OSError, ServiceError) as exc:
+                print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+                return 1
+            now = time.time()
+            dt = (now - prev_ts) if prev_ts is not None \
+                else float(args.interval)
+            frame = render_dashboard(args.url, health, prev, curr,
+                                     dt, interval=args.interval)
+            if clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            prev, prev_ts = curr, now
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:  # pragma: no cover — interactive
+                return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -560,6 +714,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="don't journal jobs under <cache>/jobs/; "
                      "jobs then die with the process instead of being "
                      "recovered (paused/failed) on reboot")
+    srv.add_argument("--profile", action="store_true",
+                     help="run a continuous sampling profiler in every "
+                     "server process; GET /debug/profile (and `repro "
+                     "profile --url`) snapshots it without a capture "
+                     "window")
+    srv.add_argument("--profile-hz", type=float, default=67.0,
+                     metavar="HZ",
+                     help="sampling rate of the continuous profiler "
+                     "(with --profile; default 67 Hz)")
+    srv.add_argument("--history-interval", type=float, default=2.0,
+                     metavar="S",
+                     help="seconds between metrics-history samples "
+                     "(GET /metrics/history window; 0 disables the "
+                     "recorder)")
     _add_cache_flags(srv)
     srv.set_defaults(func=_cmd_serve)
 
@@ -584,6 +752,17 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="MS",
                     help="log a WARNING for routed requests slower "
                     "than this; 0 disables")
+    rt.add_argument("--profile", action="store_true",
+                    help="run a continuous sampling profiler in the "
+                    "router process (merged into GET /debug/profile)")
+    rt.add_argument("--profile-hz", type=float, default=67.0,
+                    metavar="HZ",
+                    help="sampling rate of the continuous profiler "
+                    "(with --profile; default 67 Hz)")
+    rt.add_argument("--history-interval", type=float, default=2.0,
+                    metavar="S",
+                    help="seconds between router metrics-history "
+                    "samples (GET /metrics/history; 0 disables)")
     rt.set_defaults(func=_cmd_route)
 
     bk = sub.add_parser("backends",
@@ -638,14 +817,75 @@ def build_parser() -> argparse.ArgumentParser:
     mt.set_defaults(func=_cmd_metrics)
 
     tr = sub.add_parser("trace",
-                        help="summarize an exported Chrome/Perfetto "
-                        "trace file")
-    tr.add_argument("file", help="Chrome-trace-event JSON, e.g. from "
-                    "`repro batch --trace-out` or GET /metrics tooling")
+                        help="summarize a Chrome/Perfetto trace file, "
+                        "or pull one live off a server/fleet")
+    tr.add_argument("file", nargs="?",
+                    help="Chrome-trace-event JSON, e.g. from "
+                    "`repro batch --trace-out` (omit with --url)")
+    tr.add_argument("--url", metavar="URL",
+                    help="pull the live span buffer from a running "
+                    "server's GET /trace instead of reading a file; "
+                    "pointed at a `repro route` fleet this merges every "
+                    "backend's spans into one cross-process tree")
+    tr.add_argument("--out", metavar="FILE",
+                    help="with --url: also write the pulled trace as "
+                    "Perfetto-loadable JSON")
+    tr.add_argument("--drain", action="store_true",
+                    help="with --url: clear the server-side span "
+                    "buffers as they are read (scrape pattern)")
+    tr.add_argument("--trace-id", metavar="ID",
+                    help="with --url: only spans of this trace id (the "
+                    "id every /generate response carries)")
     tr.add_argument("--top", type=int, default=20, metavar="N",
                     help="show the N span names with the largest total "
                     "duration")
     tr.set_defaults(func=_cmd_trace)
+
+    pf = sub.add_parser("profile",
+                        help="capture a CPU flamegraph of a running "
+                        "server/fleet, or of a local workload")
+    pf.add_argument("--url", metavar="URL",
+                    help="profile a running server via GET "
+                    "/debug/profile (a `repro route` URL fans the "
+                    "capture across every backend and merges); without "
+                    "this, sample a local calibration workload")
+    pf.add_argument("--seconds", type=float, default=2.0, metavar="S",
+                    help="capture window (default 2s; servers clamp to "
+                    "30s)")
+    pf.add_argument("--hz", type=float, default=67.0,
+                    help="sampling rate (default 67 Hz)")
+    pf.add_argument("--snapshot", action="store_true",
+                    help="with --url: read the server's always-on "
+                    "profiler (`repro serve --profile`) instead of "
+                    "running a timed capture")
+    pf.add_argument("--top", type=int, default=15, metavar="N",
+                    help="show the N hottest frames")
+    pf.add_argument("--include-idle", action="store_true",
+                    help="keep parked-thread stacks (event loops in "
+                    "select, executors waiting) in the output")
+    pf.add_argument("--collapsed-out", metavar="FILE",
+                    help="write collapsed stacks (flamegraph.pl / "
+                    "speedscope 'collapsed' input) here")
+    _add_cache_flags(pf)
+    pf.set_defaults(func=_cmd_profile)
+
+    tp = sub.add_parser("top",
+                        help="live terminal dashboard of a running "
+                        "server or fleet")
+    tp.add_argument("--url", default="http://127.0.0.1:8731",
+                    metavar="URL",
+                    help="server or router to watch (default "
+                    "http://127.0.0.1:8731; a `repro route` URL shows "
+                    "fleet-merged metrics plus per-backend health)")
+    tp.add_argument("--interval", type=float, default=2.0, metavar="S",
+                    help="refresh interval in seconds")
+    tp.add_argument("--iterations", type=int, default=0, metavar="N",
+                    help="render N frames then exit (0 = run until "
+                    "interrupted; useful for scripts and CI)")
+    tp.add_argument("--no-clear", action="store_true",
+                    help="append frames instead of clearing the "
+                    "terminal between refreshes")
+    tp.set_defaults(func=_cmd_top)
     return parser
 
 

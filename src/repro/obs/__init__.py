@@ -32,6 +32,9 @@ from __future__ import annotations
 import contextlib
 import time
 
+from .dashboard import render_dashboard
+from .history import (MetricsHistory, histogram_quantile, histogram_totals,
+                      snapshot_children, snapshot_value)
 from .logs import LOG_LEVELS, get_logger, setup_logging
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, get_registry, reset_registry)
@@ -39,16 +42,25 @@ from .phases import (CACHE_PHASE_TIERS, PHASE_ADG, PHASE_DESIGN,
                      PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_FLIGHT_WAIT,
                      PHASE_REQUEST, PHASE_SCHEDULE, PHASE_SIM,
                      PIPELINE_PHASES)
-from .tracing import (Span, Tracer, current_trace_id, export_chrome_trace,
-                      get_tracer, load_chrome_trace, new_trace_id,
+from .profiler import DEFAULT_HZ, Profile, SamplingProfiler, profile_for
+from .tracing import (TRACE_HEADER, Span, Tracer, active_spans,
+                      current_span_id, current_trace_id,
+                      export_chrome_trace, format_trace_header, get_tracer,
+                      load_chrome_trace, new_span_id, new_trace_id,
+                      parse_trace_header, refresh_trace_metrics,
                       trace_context, trace_span)
 
 __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "DEFAULT_BUCKETS", "get_registry", "reset_registry",
     "Tracer", "Span", "get_tracer", "trace_span", "new_trace_id",
-    "current_trace_id", "trace_context", "export_chrome_trace",
-    "load_chrome_trace",
+    "new_span_id", "current_trace_id", "current_span_id",
+    "trace_context", "export_chrome_trace", "load_chrome_trace",
+    "TRACE_HEADER", "format_trace_header", "parse_trace_header",
+    "active_spans", "refresh_trace_metrics",
+    "Profile", "SamplingProfiler", "profile_for", "DEFAULT_HZ",
+    "MetricsHistory", "snapshot_value", "snapshot_children",
+    "histogram_totals", "histogram_quantile", "render_dashboard",
     "PHASE_ADG", "PHASE_SCHEDULE", "PHASE_EMIT", "PHASE_DESIGN_LOAD",
     "PHASE_FLIGHT_WAIT", "PHASE_REQUEST", "PHASE_DESIGN", "PHASE_SIM",
     "PIPELINE_PHASES", "CACHE_PHASE_TIERS",

@@ -1,0 +1,209 @@
+"""The ``repro top`` renderer: one terminal frame of fleet state.
+
+Pure functions from telemetry payloads to text — the CLI loop fetches
+``/healthz`` and ``/metrics?format=json`` (both a single server and the
+router serve the same shapes; the router's are fleet-merged), holds the
+previous snapshot, and calls :func:`render_dashboard` each refresh.
+Rates and latency quantiles come from *deltas* between the two
+snapshots, so the numbers are "over the last refresh interval", not
+since process start; the first frame (no previous snapshot) falls back
+to lifetime totals.
+
+Keeping the renderer import-light and side-effect-free makes it
+testable without sockets: build two registry snapshots, render, assert
+on the text.
+
+>>> from repro.obs import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.counter("repro_http_requests_total", "", ("route", "method",
+...     "status")).labels(route="/generate", method="POST",
+...     status="200").inc(4)
+>>> frame = render_dashboard("http://x", {"ok": True}, None,
+...                          reg.snapshot(), 2.0)
+>>> "/generate" in frame
+True
+"""
+
+from __future__ import annotations
+
+import time
+
+from .history import (histogram_quantile, histogram_totals,
+                      snapshot_children, snapshot_value)
+
+__all__ = ["render_dashboard"]
+
+_CACHE_TIERS = ("memory", "disk", "phase", "live")
+
+
+def _rate(curr: float | None, prev: float | None, dt: float) -> float:
+    if curr is None:
+        return 0.0
+    base = prev if prev is not None else 0.0
+    return max(0.0, curr - base) / max(dt, 1e-9)
+
+
+def _counter_children(snapshot, name):
+    return list(snapshot_children(snapshot, name)) if snapshot else []
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.1f}"
+
+
+def _health_line(health: dict | None) -> str:
+    if not health:
+        return "health: (unreachable)"
+    if health.get("router"):
+        backends = health.get("backends") or []
+        up = sum(1 for b in backends if b.get("ok"))
+        marks = " ".join(
+            ("up" if b.get("ok") else "DOWN") + f":{b.get('url', '?')}"
+            for b in backends)
+        return (f"fleet: {up}/{health.get('shards', len(backends))} "
+                f"backends ok   {marks}")
+    cache = health.get("cache") or {}
+    return (f"server: ok={health.get('ok')} "
+            f"workers={health.get('workers', '?')} "
+            f"persist={health.get('persist', False)} "
+            f"cache_shards={cache.get('shards', '?')}")
+
+
+def _jobs_line(health: dict | None) -> str:
+    jobs = (health or {}).get("jobs") or {}
+    if not jobs:
+        return "jobs: (none)"
+    parts = " ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+    return f"jobs: {parts}"
+
+
+def _trace_line(health: dict | None, curr: dict) -> str:
+    trace = (health or {}).get("trace") or {}
+    buffered = trace.get("buffered",
+                         snapshot_value(curr, "repro_trace_buffer_events"))
+    dropped = trace.get("dropped",
+                        snapshot_value(curr, "repro_trace_dropped_total"))
+    return (f"trace: {int(buffered or 0)} spans buffered / "
+            f"{int(dropped or 0)} dropped")
+
+
+def _routes_section(prev, curr, dt) -> list[str]:
+    lines = [f"{'ROUTE':<22}{'REQ/S':>8}{'P50 ms':>9}{'P99 ms':>9}"
+             f"{'TOTAL':>9}"]
+    routes = sorted({labels.get("route")
+                     for labels, _ in _counter_children(
+                         curr, "repro_http_requests_total")
+                     if labels.get("route")})
+    for route in routes:
+        total = 0.0
+        prev_total = 0.0
+        for labels, value in _counter_children(curr,
+                                               "repro_http_requests_total"):
+            if labels.get("route") == route:
+                total += value
+                prev_value = snapshot_value(
+                    prev, "repro_http_requests_total", **labels) \
+                    if prev else None
+                prev_total += prev_value or 0.0
+        hist = histogram_totals(curr, "repro_http_request_seconds",
+                                route=route)
+        p50 = p99 = None
+        if hist:
+            bounds, counts, _, _ = hist
+            prev_hist = histogram_totals(
+                prev, "repro_http_request_seconds", route=route) \
+                if prev else None
+            if prev_hist:
+                counts = [c - p for c, p in zip(counts, prev_hist[1])]
+                if sum(counts) <= 0:  # idle interval: show lifetime
+                    counts = hist[1]
+            p50 = histogram_quantile(bounds, counts, 0.50)
+            p99 = histogram_quantile(bounds, counts, 0.99)
+        lines.append(f"{route:<22}{_rate(total, prev_total, dt):>8.1f}"
+                     f"{_fmt_ms(p50):>9}{_fmt_ms(p99):>9}{int(total):>9}")
+    if len(lines) == 1:
+        lines.append("(no http traffic yet)")
+    return lines
+
+
+def _cache_section(prev, curr, dt) -> list[str]:
+    lines = [f"{'CACHE TIER':<22}{'HIT/S':>8}{'MISS/S':>9}{'HIT%':>9}"
+             f"{'HITS':>9}"]
+    seen = False
+    for tier in _CACHE_TIERS:
+        hits = snapshot_value(curr, "repro_cache_lookups_total",
+                              tier=tier, outcome="hit")
+        misses = snapshot_value(curr, "repro_cache_lookups_total",
+                                tier=tier, outcome="miss")
+        if hits is None and misses is None:
+            continue
+        seen = True
+        hits = hits or 0.0
+        misses = misses or 0.0
+        p_hits = snapshot_value(prev, "repro_cache_lookups_total",
+                                tier=tier, outcome="hit") if prev else None
+        p_miss = snapshot_value(prev, "repro_cache_lookups_total",
+                                tier=tier, outcome="miss") if prev else None
+        total = hits + misses
+        pct = f"{100.0 * hits / total:.1f}" if total else "-"
+        lines.append(f"{tier:<22}{_rate(hits, p_hits, dt):>8.1f}"
+                     f"{_rate(misses, p_miss, dt):>9.1f}{pct:>9}"
+                     f"{int(hits):>9}")
+    if not seen:
+        lines.append("(no cache traffic yet)")
+    return lines
+
+
+def _engine_section(prev, curr, dt) -> list[str]:
+    def pair(name, **labels):
+        value = snapshot_value(curr, name, **labels) or 0.0
+        prev_value = snapshot_value(prev, name, **labels) \
+            if prev else None
+        return value, _rate(value, prev_value, dt)
+
+    def summed(name, **match):
+        total = prev_total = 0.0
+        for labels, value in _counter_children(curr, name):
+            if all(labels.get(k) == v for k, v in match.items()):
+                total += value
+                if prev:
+                    prev_total += snapshot_value(prev, name,
+                                                 **labels) or 0.0
+        return total, _rate(total, prev_total if prev else None, dt)
+
+    groups, groups_s = pair("repro_planner_groups_total")
+    leader, _ = pair("repro_planner_requests_total", role="leader")
+    variant, _ = pair("repro_planner_requests_total", role="variant")
+    lead, lead_s = summed("repro_singleflight_total", outcome="lead")
+    wait, wait_s = summed("repro_singleflight_total", outcome="wait")
+    mem, _ = pair("repro_generate_path_total", path="event_loop")
+    exe, _ = pair("repro_generate_path_total", path="executor")
+    return [
+        f"planner: groups={int(groups)} ({groups_s:.1f}/s) "
+        f"leader={int(leader)} variant={int(variant)}   "
+        f"single-flight: lead={int(lead)} ({lead_s:.1f}/s) "
+        f"wait={int(wait)} ({wait_s:.1f}/s)",
+        f"generate path: memory-tier={int(mem)} executor={int(exe)}",
+    ]
+
+
+def render_dashboard(url: str, health: dict | None, prev: dict | None,
+                     curr: dict, dt: float, now: float | None = None,
+                     interval: float | None = None) -> str:
+    """One ``repro top`` frame as a multi-line string.
+
+    *prev*/*curr* are ``MetricsRegistry.snapshot()`` payloads *dt*
+    seconds apart (*prev* may be None on the first frame); *health* is
+    the ``/healthz`` payload (router or single-server shape)."""
+    stamp = time.strftime("%H:%M:%S", time.localtime(now))
+    head = f"repro top — {url} — {stamp}"
+    if interval:
+        head += f" (refresh {interval:g}s)"
+    lines = [head, _health_line(health), _jobs_line(health),
+             _trace_line(health, curr), ""]
+    lines += _routes_section(prev, curr, dt)
+    lines.append("")
+    lines += _cache_section(prev, curr, dt)
+    lines.append("")
+    lines += _engine_section(prev, curr, dt)
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Metrics history: a ring buffer of registry snapshots over time.
+
+``GET /metrics`` is point-in-time; rates and trends need *two* points.
+:class:`MetricsHistory` runs a daemon thread that captures the full
+(mergeable, JSON-safe) ``MetricsRegistry.snapshot()`` every
+``interval_s`` seconds into a bounded deque — at the default 2 s
+interval and 600 samples that is a 20-minute window, served by ``GET
+/metrics/history`` and rendered by the ``repro top`` dashboard.
+
+The module also carries the snapshot *readers* the dashboard and tests
+share: :func:`snapshot_value` pulls one scalar out of a snapshot,
+:func:`snapshot_children` iterates a family's labeled children, and
+:func:`histogram_quantile` interpolates p50/p99 from bucket-count
+deltas between two snapshots (the standard Prometheus
+``histogram_quantile`` estimate).
+
+>>> from repro.obs import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.counter("jobs_total", "jobs").inc(3)
+>>> snapshot_value(reg.snapshot(), "jobs_total")
+3.0
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+from .metrics import get_registry
+
+__all__ = ["MetricsHistory", "snapshot_value", "snapshot_children",
+           "histogram_totals", "histogram_quantile"]
+
+
+class MetricsHistory:
+    """Sample ``registry.snapshot()`` every *interval_s* seconds into a
+    ring of *max_samples* entries ``{"ts": epoch_s, "metrics": snap}``.
+
+    *refresh* (optional) runs before each sample — servers pass their
+    gauge-refresh hook so job/trace gauges are current in every sample,
+    not just on ``/metrics`` scrapes.
+    """
+
+    def __init__(self, registry=None, interval_s: float = 2.0,
+                 max_samples: int = 600, refresh=None):
+        self.registry = registry if registry is not None else get_registry()
+        self.interval_s = max(0.05, float(interval_s))
+        self.max_samples = max_samples
+        self._refresh = refresh
+        self._samples: collections.deque = collections.deque(
+            maxlen=max_samples)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsHistory":
+        if self.running:
+            return self
+        self._stop.clear()
+        self.sample_now()  # a first point is available immediately
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-metrics-history")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_now()
+
+    def sample_now(self) -> dict:
+        """Capture one sample (also callable without the thread)."""
+        if self._refresh is not None:
+            try:
+                self._refresh()
+            except Exception:  # a broken gauge hook must not kill sampling
+                pass
+        sample = {"ts": time.time(), "metrics": self.registry.snapshot()}
+        with self._lock:
+            self._samples.append(sample)
+        return sample
+
+    def samples(self, limit: int | None = None) -> list[dict]:
+        """Oldest-first samples (the last *limit* of them)."""
+        with self._lock:
+            out = list(self._samples)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def series(self, name: str, limit: int | None = None,
+               **labels) -> list[tuple[float, float]]:
+        """One metric as ``[(ts, value), ...]`` across the window."""
+        out = []
+        for sample in self.samples(limit):
+            value = snapshot_value(sample["metrics"], name, **labels)
+            if value is not None:
+                out.append((sample["ts"], value))
+        return out
+
+    def to_dict(self, limit: int | None = None) -> dict:
+        """The ``GET /metrics/history`` payload."""
+        samples = self.samples(limit)
+        return {"interval_s": self.interval_s,
+                "max_samples": self.max_samples,
+                "count": len(samples), "samples": samples}
+
+
+def _family(snapshot: dict, name: str) -> dict | None:
+    for entry in (snapshot or {}).get("metrics", []):
+        if entry.get("name") == name:
+            return entry
+    return None
+
+
+def snapshot_children(snapshot: dict, name: str):
+    """Yield ``(labels_dict, data)`` for every child of family *name*
+    in a ``MetricsRegistry.snapshot()``; ``data`` is a float for
+    counters/gauges and the bucket dict for histograms."""
+    family = _family(snapshot, name)
+    if not family:
+        return
+    labelnames = family.get("labelnames", [])
+    for child in family.get("children", []):
+        labels = dict(zip(labelnames, child.get("labels", [])))
+        yield labels, child.get("value")
+
+
+def snapshot_value(snapshot: dict, name: str, **labels) -> float | None:
+    """One scalar out of a snapshot: counter/gauge value, or a
+    histogram child's observation count.  None when absent."""
+    family = _family(snapshot, name)
+    if not family:
+        return None
+    for child_labels, data in snapshot_children(snapshot, name):
+        if child_labels == labels:
+            if isinstance(data, dict):
+                return float(data.get("count", 0))
+            return float(data)
+    return None
+
+
+def histogram_totals(snapshot: dict, name: str,
+                     **labels) -> tuple[list, list, float, float] | None:
+    """A histogram child as ``(bounds, bucket_counts, sum, count)``
+    (non-cumulative per-bucket counts; bounds exclude +Inf)."""
+    family = _family(snapshot, name)
+    if not family:
+        return None
+    for child_labels, data in snapshot_children(snapshot, name):
+        if child_labels == labels and isinstance(data, dict):
+            return (list(family.get("buckets", [])),
+                    list(data.get("bucket_counts", [])),
+                    float(data.get("sum", 0.0)),
+                    float(data.get("count", 0)))
+    return None
+
+
+def histogram_quantile(bounds: list, bucket_counts: list,
+                       q: float) -> float | None:
+    """Prometheus-style quantile estimate from per-bucket counts:
+    linear interpolation inside the bucket holding the q-th
+    observation; the overflow bucket clamps to the top bound."""
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    seen = 0.0
+    for i, count in enumerate(bucket_counts):
+        if count <= 0:
+            continue
+        if seen + count >= rank:
+            hi = bounds[i] if i < len(bounds) else bounds[-1]
+            lo = bounds[i - 1] if 0 < i <= len(bounds) else 0.0
+            frac = (rank - seen) / count
+            return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        seen += count
+    return bounds[-1] if bounds else None

@@ -7,6 +7,11 @@ worker processes, tests, and notebook users all drive it directly, and
 concurrency comes from running many clients, exactly like production
 traffic.  A client instance is not thread-safe: give each thread or
 process its own.
+
+When a trace id is bound in the calling context (``trace_context``),
+every request carries it in the ``X-Repro-Trace`` header — so the
+server (or the router, and through it every backend and pool worker)
+joins the caller's trace tree instead of minting an unrelated id.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ from __future__ import annotations
 import http.client
 import json
 import time
+import urllib.parse
+
+from ..obs import TRACE_HEADER, format_trace_header
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -88,21 +96,30 @@ class ServiceClient:
         return text
 
     def roundtrip(self, method: str, path: str,
-                  body: dict | bytes | None = None) -> tuple[int, bytes]:
+                  body: dict | bytes | None = None,
+                  trace: str | None = None) -> tuple[int, bytes]:
         """One raw round-trip: ``(status, response bytes)``, no error
         raising, no JSON decoding.  *body* may be pre-encoded bytes —
         the fleet router forwards request bodies verbatim through this
-        without paying a decode/encode cycle per hop."""
-        return self._roundtrip(method, path, body)
+        without paying a decode/encode cycle per hop; *trace* is an
+        explicit ``X-Repro-Trace`` value (the router computes it on the
+        event loop, then forwards from an executor thread where the
+        contextvars are no longer bound)."""
+        return self._roundtrip(method, path, body, trace=trace)
 
     def _roundtrip(self, method: str, path: str,
-                   body: dict | bytes | None) -> tuple[int, bytes]:
+                   body: dict | bytes | None,
+                   trace: str | None = None) -> tuple[int, bytes]:
         if isinstance(body, bytes):
             payload = body
         else:
             payload = (json.dumps(body).encode()
                        if body is not None else None)
         headers = {"Content-Type": "application/json"}
+        if trace is None:
+            trace = format_trace_header()  # bound trace id, if any
+        if trace is not None:
+            headers[TRACE_HEADER] = trace
         for attempt in (0, 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -133,6 +150,51 @@ class ServiceClient:
     def metrics(self) -> str:
         """The server's Prometheus text exposition — ``GET /metrics``."""
         return self.request_text("GET", "/metrics")
+
+    def metrics_snapshot(self) -> dict:
+        """The mergeable JSON snapshot — ``GET /metrics?format=json``
+        (the router serves the fleet-merged one); what ``repro top``
+        polls."""
+        return self.request("GET", "/metrics?format=json")
+
+    def metrics_history(self, samples: int | None = None) -> dict:
+        """The server's metrics time series — ``GET /metrics/history``
+        (``samples`` trims to the most recent N)."""
+        path = "/metrics/history"
+        if samples is not None:
+            path += f"?samples={int(samples)}"
+        return self.request("GET", path)
+
+    def trace(self, drain: bool = False,
+              trace_id: str | None = None) -> dict:
+        """The span buffer as Chrome-trace JSON — ``GET /trace``.
+        Through the router this is the fan-and-merged fleet tree.
+        ``drain=True`` clears the buffers as it reads (scrape pattern);
+        *trace_id* filters to one request's tree."""
+        params = {}
+        if drain:
+            params["drain"] = "1"
+        if trace_id:
+            params["trace_id"] = trace_id
+        path = "/trace"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self.request("GET", path)
+
+    def profile(self, seconds: float | None = None,
+                hz: float | None = None) -> dict:
+        """A CPU profile — ``GET /debug/profile``.  With *seconds*, a
+        one-shot capture of that length; without, a snapshot of the
+        server's always-on profiler (``repro serve --profile``)."""
+        params = {}
+        if seconds is not None:
+            params["seconds"] = f"{seconds:g}"
+        if hz is not None:
+            params["hz"] = f"{hz:g}"
+        path = "/debug/profile"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self.request("GET", path)
 
     def backends(self) -> list[dict]:
         """Registered emitter backend families (name, description,

@@ -34,9 +34,9 @@ import multiprocessing
 from collections import Counter
 from typing import Callable, Iterable, Sequence
 
-from ..obs import (PHASE_DESIGN, current_trace_id, get_registry,
-                   merge_telemetry, reset_registry, telemetry_snapshot,
-                   trace_context, trace_span)
+from ..obs import (PHASE_DESIGN, current_span_id, current_trace_id,
+                   get_registry, merge_telemetry, reset_registry,
+                   telemetry_snapshot, trace_context, trace_span)
 from ..obs.tracing import get_tracer
 from ..serialize import canonical_dumps
 from .cache import DesignCache
@@ -101,7 +101,10 @@ def _run_request_payload(payload: dict) -> tuple[str, dict, dict]:
     reset_registry()
     get_tracer().clear()
     request = DesignRequest.from_dict(payload["request"])
-    with trace_context(payload.get("trace_id")):
+    # parent_id is the engine-side span that fanned this task out (the
+    # "batch" span): binding it makes the worker's spans children in
+    # the merged trace tree, not disconnected roots.
+    with trace_context(payload.get("trace_id"), payload.get("parent_id")):
         result = execute_request(request, cache=_WORKER_CACHE)
     return result.spec_hash, result.to_record(), telemetry_snapshot()
 
@@ -385,11 +388,15 @@ class BatchEngine:
                 result = execute_request(request, cache=self.cache)
                 yield result.spec_hash, result.to_record()
             return
-        # Pooled: ship the current trace id inside each pickled payload
-        # and merge every worker's telemetry delta back, so the parent's
-        # /metrics and exported trace cover the whole fan-out.
+        # Pooled: ship the current trace id (and the enclosing span's id
+        # — the pool tasks' parent in the trace tree) inside each
+        # pickled payload and merge every worker's telemetry delta back,
+        # so the parent's /metrics and exported trace cover the whole
+        # fan-out.
         trace_id = current_trace_id()
-        payloads = [{"request": r.to_dict(), "trace_id": trace_id}
+        parent_id = current_span_id()
+        payloads = [{"request": r.to_dict(), "trace_id": trace_id,
+                     "parent_id": parent_id}
                     for r in cold]
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(cold)),

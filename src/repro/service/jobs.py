@@ -68,6 +68,11 @@ class Job:
         #: job body produces (pool workers included) carries it, so an
         #: exported Chrome trace can be filtered down to this job.
         self.trace_id: str | None = None
+        #: span id of the submitting hop (the router's proxy span or a
+        #: traced client's span): the job body re-binds it so its spans
+        #: parent correctly in the cross-process trace tree.  Not
+        #: journaled — a recovered job's submitter is long gone.
+        self.trace_parent: str | None = None
         #: the batch planner's dry-run summary (``BatchPlan.to_dict()``)
         #: for a `/batch` job — recorded before execution starts, so a
         #: poller can see how much schedule work the batch will pay.

@@ -30,6 +30,13 @@ Routing policy:
   (``GET /metrics?format=json``) plus the router's own registry into
   one Prometheus exposition via :meth:`MetricsRegistry.merge`;
   ``/healthz`` reports per-backend liveness and summed job counts.
+* ``/trace`` fans to every backend and merges their Chrome-trace
+  events with the router's own proxy spans into one fleet tree (every
+  write-path forward runs under a ``proxy:<path>`` span whose id rides
+  to the backend in ``X-Repro-Trace``, so the hops link up);
+  ``/debug/profile`` fans a CPU capture across the fleet and merges
+  the flamegraphs; ``/metrics/history`` serves the router's own
+  metrics time series for the ``repro top`` dashboard.
 
 The router holds no job state beyond the composite-fan table, so
 router restarts only forget fan ids — the underlying per-shard jobs
@@ -42,15 +49,21 @@ import asyncio
 import contextlib
 import itertools
 import json
+import os
 import queue as queue_module
 import re
 import secrets
 import signal
 import threading
+import urllib.parse
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 
-from ..obs import MetricsRegistry, get_registry, setup_logging
+from ..obs import (DEFAULT_HZ, MetricsHistory, MetricsRegistry, Profile,
+                   SamplingProfiler, current_span_id, current_trace_id,
+                   format_trace_header, get_registry, get_tracer,
+                   new_trace_id, profile_for, refresh_trace_metrics,
+                   setup_logging, trace_context, trace_span)
 from .client import ServiceClient, ServiceError
 from .server import (HttpServerBase, ServerOnThread, StreamPayload,
                      _BadRequest, _request_from_body, _serve_async)
@@ -170,7 +183,9 @@ class DesignRouter(HttpServerBase):
 
     def __init__(self, backends, host: str = "127.0.0.1", port: int = 0,
                  timeout: float = 300.0, reuse_port: bool = False,
-                 slow_request_ms: float = 1000.0):
+                 slow_request_ms: float = 1000.0,
+                 profile_hz: float | None = None,
+                 history_interval_s: float = 2.0):
         super().__init__(host=host, port=port, reuse_port=reuse_port,
                          slow_request_ms=slow_request_ms)
         urls = [str(u).rstrip("/") for u in backends]
@@ -178,6 +193,15 @@ class DesignRouter(HttpServerBase):
             raise ValueError("a router needs at least one --backend URL")
         self.backends = urls
         self.timeout = timeout
+        #: always-on sampler of the router process itself
+        #: (``repro route --profile``)
+        self.profiler = (SamplingProfiler(hz=profile_hz)
+                         if profile_hz else None)
+        #: the router's own metrics time series (its registry covers
+        #: routed-traffic latencies) behind ``GET /metrics/history``
+        self.history = (MetricsHistory(interval_s=history_interval_s,
+                                       refresh=refresh_trace_metrics)
+                        if history_interval_s else None)
         self._pools = [_ClientPool(u, timeout) for u in urls]
         # Forwarding happens on threads (http.client is blocking): size
         # the pool so a slow backend can't starve the others.
@@ -193,28 +217,61 @@ class DesignRouter(HttpServerBase):
         self._fan_lock = threading.Lock()
         self._fan_seq = itertools.count(1)
 
+    async def start(self) -> "DesignRouter":
+        await super().start()
+        if self.history is not None:
+            self.history.start()
+        if self.profiler is not None:
+            self.profiler.start()
+        return self
+
     async def stop(self) -> None:
+        if self.history is not None:
+            self.history.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         await super().stop()
         self._forward_executor.shutdown(wait=False, cancel_futures=True)
 
     # -- forwarding --------------------------------------------------------
 
     async def _forward(self, index: int, method: str, path: str,
-                       body=None) -> tuple[int, bytes]:
+                       body=None, trace: str | None = None
+                       ) -> tuple[int, bytes]:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._forward_executor, self._forward_sync, index, method,
-            path, body)
+            path, body, trace)
 
     def _forward_sync(self, index: int, method: str, path: str,
-                      body=None) -> tuple[int, bytes]:
+                      body=None, trace: str | None = None
+                      ) -> tuple[int, bytes]:
         try:
             with self._pools[index].client() as client:
-                return client.roundtrip(method, path, body)
+                return client.roundtrip(method, path, body, trace=trace)
         except OSError as exc:
             return 502, json.dumps(
                 {"error": f"backend {self.backends[index]} unreachable: "
                           f"{type(exc).__name__}: {exc}"}).encode()
+
+    async def _proxy(self, index: int, method: str, path: str,
+                     body=None) -> tuple[int, bytes]:
+        """Forward one write-path request under a router **proxy span**.
+
+        The span joins the incoming trace (or mints a fresh id for
+        untraced clients) and its span id rides to the backend in
+        ``X-Repro-Trace`` — so in the merged fleet trace the backend's
+        spans hang under ``proxy:<path>``, which hangs under whatever
+        the client had open."""
+        trace_id = current_trace_id() or new_trace_id()
+        with trace_context(trace_id, current_span_id()):
+            with trace_span(f"proxy:{path}", shard=index,
+                            backend=self.backends[index]) as span:
+                status, raw = await self._forward(
+                    index, method, path, body,
+                    trace=format_trace_header(trace_id, span.span_id))
+                span.set(status=status)
+        return status, raw
 
     @staticmethod
     def _decode(raw: bytes) -> dict:
@@ -265,7 +322,7 @@ class DesignRouter(HttpServerBase):
                 self._route_cache[body] = index
                 while len(self._route_cache) > self.route_cache_entries:
                     self._route_cache.popitem(last=False)
-        return await self._forward(index, "POST", "/generate", body)
+        return await self._proxy(index, "POST", "/generate", body)
 
     async def _route(self, method, path, query, data) -> tuple[int, dict]:
         if path == "/healthz":
@@ -276,6 +333,18 @@ class DesignRouter(HttpServerBase):
             if method != "GET":
                 return 405, {"error": "use GET /metrics"}
             return await self._merged_metrics(query)
+        if path == "/metrics/history":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics/history"}
+            return 200, self._metrics_history(query)
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "use GET /trace"}
+            return await self._merged_trace(query)
+        if path == "/debug/profile":
+            if method != "GET":
+                return 405, {"error": "use GET /debug/profile"}
+            return await self._merged_profile(query)
         if path == "/backends":
             if method != "GET":
                 return 405, {"error": "use GET /backends"}
@@ -319,8 +388,8 @@ class DesignRouter(HttpServerBase):
             # Single-shard batches forward wholesale: no fan bookkeeping,
             # the composite id machinery, or merged polling needed.
             index = next(iter(shards))
-            status, raw = await self._forward(index, "POST", "/batch",
-                                              data)
+            status, raw = await self._proxy(index, "POST", "/batch",
+                                            data)
             payload = self._decode(raw)
             if status < 400 and isinstance(payload.get("job"), str):
                 payload["job"] = self._tag(index, payload["job"])
@@ -329,8 +398,8 @@ class DesignRouter(HttpServerBase):
 
         async def submit(index: int, positions: list[int]):
             body = dict(data, requests=[specs[p] for p in positions])
-            status, raw = await self._forward(index, "POST", "/batch",
-                                              body)
+            status, raw = await self._proxy(index, "POST", "/batch",
+                                            body)
             return index, positions, status, self._decode(raw)
 
         outcomes = await asyncio.gather(
@@ -356,7 +425,7 @@ class DesignRouter(HttpServerBase):
         # Round-robin: any backend can search; the shared work is its
         # cache tier, which is already shard-routed per evaluation.
         index = next(self._rr) % len(self.backends)
-        status, raw = await self._forward(index, "POST", "/explore", data)
+        status, raw = await self._proxy(index, "POST", "/explore", data)
         payload = self._decode(raw)
         if status < 400 and isinstance(payload.get("job"), str):
             payload["job"] = self._tag(index, payload["job"])
@@ -504,7 +573,9 @@ class DesignRouter(HttpServerBase):
             backends.append(entry)
         return 200, {"ok": ok, "router": True,
                      "shards": len(self.backends),
-                     "jobs": jobs, "backends": backends}
+                     "jobs": jobs, "backends": backends,
+                     "trace": refresh_trace_metrics(),
+                     "profiling": self.profiler is not None}
 
     async def _merged_metrics(self, query: str) -> tuple[int,
                                                          dict | str]:
@@ -527,6 +598,117 @@ class DesignRouter(HttpServerBase):
             return 200, merged.snapshot()
         return 200, merged.render()
 
+    def _metrics_history(self, query: str) -> dict:
+        """``GET /metrics/history``: the *router's* sample window (its
+        registry holds the fleet-facing route latencies).  Per-backend
+        history stays on the backends — histories are time series, and
+        merging misaligned sampling clocks would fabricate rates."""
+        if self.history is None:
+            return {"interval_s": None, "max_samples": 0, "count": 0,
+                    "samples": []}
+        params = urllib.parse.parse_qs(query)
+        limit = None
+        raw = params.get("samples", [None])[0]
+        if raw is not None:
+            try:
+                limit = max(0, int(raw))
+            except ValueError:
+                raise _BadRequest('"samples" must be an integer') from None
+        return self.history.to_dict(limit)
+
+    async def _merged_trace(self, query: str) -> tuple[int, dict]:
+        """``GET /trace``: fan to every backend (query passes through,
+        so ``drain``/``trace_id`` behave fleet-wide) and merge their
+        Chrome-trace events with the router's own proxy spans into one
+        tree — span ids stitch the hops together, and epoch-µs
+        timestamps mean the hops align on one Perfetto timeline."""
+        params = urllib.parse.parse_qs(query)
+        sub = "/trace" + (f"?{query}" if query else "")
+        polls = await asyncio.gather(
+            *(self._forward(i, "GET", sub)
+              for i in range(len(self.backends))))
+        tracer = get_tracer()
+        drain = params.get("drain", ["0"])[0] in ("1", "true")
+        events = tracer.take() if drain else tracer.events()
+        wanted = params.get("trace_id", [None])[0]
+        if wanted:
+            events = [e for e in events
+                      if e.get("args", {}).get("trace_id") == wanted]
+        merged = list(events)
+        dropped = tracer.dropped
+        reached = 1
+        for status, raw in polls:
+            if status >= 400:
+                continue
+            payload = self._decode(raw)
+            tail = payload.get("traceEvents")
+            if isinstance(tail, list):
+                merged.extend(e for e in tail if isinstance(e, dict))
+                reached += 1
+            try:
+                dropped += int(payload.get("dropped") or 0)
+            except (TypeError, ValueError):
+                pass
+        return 200, {"traceEvents": merged, "displayTimeUnit": "ms",
+                     "pid": os.getpid(), "dropped": dropped,
+                     "merged_from": reached}
+
+    async def _merged_profile(self, query: str) -> tuple[int, dict]:
+        """``GET /debug/profile``: fan the capture across backends and
+        fold the profiles into one fleet flamegraph.  With ``seconds=N``
+        the router samples itself concurrently with the backends (the
+        captures overlap, so one wall-clock wait covers the fleet);
+        without, it merges always-on profiler snapshots from whichever
+        processes run one."""
+        params = urllib.parse.parse_qs(query)
+        seconds = params.get("seconds", [None])[0]
+        secs = None
+        hz = DEFAULT_HZ
+        if seconds is not None:
+            try:
+                secs = min(30.0, max(0.05, float(seconds)))
+                hz = float(params.get("hz", [DEFAULT_HZ])[0])
+            except ValueError:
+                raise _BadRequest('"seconds" and "hz" must be numbers') \
+                    from None
+        sub = "/debug/profile" + (f"?{query}" if query else "")
+        fan = asyncio.gather(*(self._forward(i, "GET", sub)
+                               for i in range(len(self.backends))))
+        if secs is not None:
+            loop = asyncio.get_running_loop()
+            own, polls = await asyncio.gather(
+                loop.run_in_executor(None, profile_for, secs, hz), fan)
+        else:
+            own = (self.profiler.snapshot()
+                   if self.profiler is not None else None)
+            polls = await fan
+        merged = own if own is not None else Profile(hz=hz)
+        reached = 1 if own is not None else 0
+        backends = []
+        for index, (status, raw) in enumerate(polls):
+            entry: dict = {"url": self.backends[index],
+                           "ok": status < 400}
+            payload = self._decode(raw)
+            if status < 400:
+                try:
+                    part = Profile.from_dict(payload)
+                except (TypeError, ValueError):
+                    entry["ok"] = False
+                    entry["error"] = "unparseable profile payload"
+                else:
+                    merged.merge(part)
+                    entry["samples"] = part.samples
+                    reached += 1
+            else:
+                entry["error"] = payload.get("error")
+            backends.append(entry)
+        if reached == 0:
+            return 404, {"error": "no profile available: pass "
+                         "?seconds=N for a one-shot capture, or run "
+                         "the fleet with --profile", "backends": backends}
+        return 200, dict(merged.to_dict(), continuous=secs is None,
+                         merged_from=reached, backends=backends)
+
 
 # ---------------------------------------------------------------------------
 # Entry points: blocking route() for the CLI, RouterThread for embedding.
@@ -535,12 +717,16 @@ class DesignRouter(HttpServerBase):
 def route(backends, host: str = "127.0.0.1", port: int = 8730,
           quiet: bool = False, log_level: str = "warning",
           timeout: float = 300.0,
-          slow_request_ms: float = 1000.0) -> None:
+          slow_request_ms: float = 1000.0,
+          profile_hz: float | None = None,
+          history_interval_s: float = 2.0) -> None:
     """Run the fleet router until interrupted (``repro route``)."""
     setup_logging(log_level)
     router = DesignRouter(backends, host=host, port=port,
                           timeout=timeout,
-                          slow_request_ms=slow_request_ms)
+                          slow_request_ms=slow_request_ms,
+                          profile_hz=profile_hz,
+                          history_interval_s=history_interval_s)
 
     def announce(r: DesignRouter) -> None:
         if not quiet:
@@ -570,7 +756,10 @@ class RouterThread(ServerOnThread):
 
     def __init__(self, backends, host: str = "127.0.0.1", port: int = 0,
                  timeout: float = 300.0,
-                 slow_request_ms: float = 1000.0):
+                 slow_request_ms: float = 1000.0,
+                 profile_hz: float | None = None,
+                 history_interval_s: float = 2.0):
         super().__init__(DesignRouter(
             backends, host=host, port=port, timeout=timeout,
-            slow_request_ms=slow_request_ms))
+            slow_request_ms=slow_request_ms, profile_hz=profile_hz,
+            history_interval_s=history_interval_s))

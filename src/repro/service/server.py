@@ -25,6 +25,11 @@ method   path                  purpose
 GET      ``/healthz``          liveness + tiered cache stats + job counts
 GET      ``/metrics``          Prometheus text exposition of all telemetry
                                (``?format=json`` → mergeable snapshot)
+GET      ``/metrics/history``  ring buffer of timestamped metric snapshots
+GET      ``/trace``            span buffer as Chrome-trace JSON
+                               (``?drain=1`` scrape, ``?trace_id=`` filter)
+GET      ``/debug/profile``    CPU profile: ``?seconds=N`` one-shot capture,
+                               bare = always-on profiler snapshot
 GET      ``/backends``         registered emitter families + option schemas
 POST     ``/generate``         one design, synchronously (cache-first)
 POST     ``/batch``            many designs -> job id
@@ -71,15 +76,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 import time
 import traceback
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 
 from ..dse.checkpoint import run_checkpointed, space_from_dict
-from ..obs import (get_logger, get_registry, new_trace_id, setup_logging,
-                   trace_context, trace_span)
+from ..obs import (DEFAULT_HZ, MetricsHistory, SamplingProfiler,
+                   current_span_id, current_trace_id, get_logger,
+                   get_registry, get_tracer, new_trace_id,
+                   parse_trace_header, profile_for, refresh_trace_metrics,
+                   setup_logging, trace_context, trace_span)
 from .engine import BatchEngine
 from .jobs import JobRegistry, RegistryFull
 from .persist import JobJournal
@@ -333,7 +343,8 @@ class HttpServerBase:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(method, path, body,
+                                                       headers)
                 keep_alive = (headers.get("connection", "").lower()
                               != "close")
                 if isinstance(payload, StreamPayload):
@@ -428,11 +439,26 @@ class HttpServerBase:
 
     # -- dispatch ----------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> tuple[int, dict]:
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        headers: dict | None = None) -> tuple[int, dict]:
         path, _, query = path.partition("?")
         route = _route_label(path)
         t0 = time.perf_counter()
+        # An incoming X-Repro-Trace header joins this request to the
+        # caller's trace tree: the id pair is bound for the whole
+        # dispatch, so handler spans parent under the upstream span and
+        # handlers reuse the caller's trace id instead of minting one.
+        trace_id, parent_id = parse_trace_header(
+            (headers or {}).get("x-repro-trace"))
+        if trace_id is None:
+            return await self._dispatch_traced(method, path, query, body,
+                                               route, t0)
+        with trace_context(trace_id, parent_id):
+            return await self._dispatch_traced(method, path, query, body,
+                                               route, t0)
+
+    async def _dispatch_traced(self, method, path, query, body, route,
+                               t0) -> tuple[int, dict]:
         try:
             answer = await self._route_raw(method, path, query, body)
             if answer is not None:
@@ -489,10 +515,23 @@ class DesignServer(HttpServerBase):
                  reuse_port: bool = False,
                  slow_request_ms: float = 1000.0,
                  persist_jobs: bool = True,
-                 job_workers: int | None = None):
+                 job_workers: int | None = None,
+                 profile_hz: float | None = None,
+                 history_interval_s: float = 2.0,
+                 history_samples: int = 600):
         super().__init__(host=host, port=port, reuse_port=reuse_port,
                          slow_request_ms=slow_request_ms)
         self.engine = engine if engine is not None else BatchEngine()
+        #: always-on sampling profiler (``repro serve --profile``);
+        #: ``GET /debug/profile`` without ``seconds=`` snapshots it.
+        self.profiler = (SamplingProfiler(hz=profile_hz)
+                         if profile_hz else None)
+        #: metrics time series behind ``GET /metrics/history``
+        #: (``history_interval_s=0`` disables the recorder).
+        self.history = (MetricsHistory(interval_s=history_interval_s,
+                                       max_samples=history_samples,
+                                       refresh=self._refresh_job_gauges)
+                        if history_interval_s else None)
         #: default checkpoint step of `/explore` jobs, in
         #: full-model-equivalents (smaller = finer pause granularity)
         self.step_evals = step_evals
@@ -520,8 +559,20 @@ class DesignServer(HttpServerBase):
                          else max(1, min(max_jobs, 32))),
             thread_name_prefix="repro-job")
 
+    async def start(self) -> "DesignServer":
+        await super().start()
+        if self.history is not None:
+            self.history.start()
+        if self.profiler is not None:
+            self.profiler.start()
+        return self
+
     async def stop(self) -> None:
         self._closing.set()
+        if self.history is not None:
+            self.history.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         # Queued-but-unstarted job bodies are dropped; running ones see
         # _closing at their next checkpoint and park themselves.
         self._job_executor.shutdown(wait=False, cancel_futures=True)
@@ -547,6 +598,18 @@ class DesignServer(HttpServerBase):
             if "format=json" in query:
                 return 200, self._metrics_snapshot()
             return 200, self._metrics()
+        if path == "/metrics/history":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics/history"}
+            return 200, self._metrics_history(query)
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "use GET /trace"}
+            return 200, self._trace_payload(query)
+        if path == "/debug/profile":
+            if method != "GET":
+                return 405, {"error": "use GET /debug/profile"}
+            return await self._handle_profile(query)
         if path == "/backends":
             if method != "GET":
                 return 405, {"error": "use GET /backends"}
@@ -583,6 +646,8 @@ class DesignServer(HttpServerBase):
                 "backends": list(backend_names()),
                 "persist": self.journal is not None,
                 "recovered": self.recovered,
+                "trace": refresh_trace_metrics(),
+                "profiling": self.profiler is not None,
                 "cache": (dict(cache.stats.as_dict(),
                                root=str(cache.root),
                                shards=len(cache.roots),
@@ -592,6 +657,7 @@ class DesignServer(HttpServerBase):
     def _refresh_job_gauges(self) -> None:
         for status, count in self.jobs.counts().items():
             _JOBS_GAUGE.labels(status=status).set(count)
+        refresh_trace_metrics()
 
     def _metrics(self) -> str:
         """The Prometheus text exposition of the process-wide registry
@@ -607,6 +673,61 @@ class DesignServer(HttpServerBase):
         self._refresh_job_gauges()
         return get_registry().snapshot()
 
+    def _metrics_history(self, query: str) -> dict:
+        """``GET /metrics/history``: the recorder's sample window (or
+        an empty shell when disabled); ``?samples=N`` trims it."""
+        if self.history is None:
+            return {"interval_s": None, "max_samples": 0, "count": 0,
+                    "samples": []}
+        params = urllib.parse.parse_qs(query)
+        limit = None
+        raw = params.get("samples", [None])[0]
+        if raw is not None:
+            try:
+                limit = max(0, int(raw))
+            except ValueError:
+                raise _BadRequest('"samples" must be an integer') from None
+        return self.history.to_dict(limit)
+
+    def _trace_payload(self, query: str) -> dict:
+        """``GET /trace``: the span buffer as Chrome-trace JSON.
+        ``?drain=1`` drains it (the scrape-and-reset pattern);
+        ``?trace_id=<id>`` filters to one request's tree."""
+        params = urllib.parse.parse_qs(query)
+        tracer = get_tracer()
+        drain = params.get("drain", ["0"])[0] in ("1", "true")
+        events = tracer.take() if drain else tracer.events()
+        wanted = params.get("trace_id", [None])[0]
+        if wanted:
+            events = [e for e in events
+                      if e.get("args", {}).get("trace_id") == wanted]
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "pid": os.getpid(), "dropped": tracer.dropped}
+
+    async def _handle_profile(self, query: str) -> tuple[int, dict]:
+        """``GET /debug/profile``: without ``seconds=``, snapshot the
+        always-on profiler (404s when the server runs unprofiled);
+        with ``seconds=N[&hz=H]``, run a bounded blocking capture on an
+        executor thread and return it."""
+        params = urllib.parse.parse_qs(query)
+        seconds = params.get("seconds", [None])[0]
+        if seconds is None:
+            if self.profiler is None:
+                return 404, {"error": "no continuous profiler running "
+                             "(start with repro serve --profile) and no "
+                             "seconds= given for a one-shot capture"}
+            return 200, dict(self.profiler.snapshot().to_dict(),
+                             continuous=True)
+        try:
+            secs = min(30.0, max(0.05, float(seconds)))
+            hz = float(params.get("hz", [DEFAULT_HZ])[0])
+        except ValueError:
+            raise _BadRequest('"seconds" and "hz" must be numbers') \
+                from None
+        loop = asyncio.get_running_loop()
+        profile = await loop.run_in_executor(None, profile_for, secs, hz)
+        return 200, dict(profile.to_dict(), continuous=False)
+
     # -- endpoint handlers -------------------------------------------------
 
     async def _handle_generate(self, data) -> tuple[int, dict]:
@@ -617,7 +738,11 @@ class DesignServer(HttpServerBase):
         if payload is None:
             payload = {k: v for k, v in data.items() if k != "include_rtl"}
         request = _request_from_body(payload)
-        trace_id = new_trace_id()
+        # Reuse the trace id an upstream hop sent in X-Repro-Trace (the
+        # router's proxy span, or a traced client) so the whole request
+        # is one tree; mint only for untraced callers.
+        trace_id = current_trace_id() or new_trace_id()
+        parent_id = current_span_id()
         # Warm fast path: answer *memory-tier* hits directly on the
         # event loop — such a hit is a dict lookup plus JSON, and
         # skipping the two executor-thread handoffs roughly halves warm
@@ -637,13 +762,13 @@ class DesignServer(HttpServerBase):
         # contextvars do not follow work into executor threads, so the
         # trace id rides along explicitly and is re-bound over there.
         result = await loop.run_in_executor(
-            None, self._submit_traced, request, trace_id)
+            None, self._submit_traced, request, trace_id, parent_id)
         return 200, dict(_result_to_json(result, include_rtl=include_rtl),
                          trace_id=trace_id)
 
-    def _submit_traced(self, request: DesignRequest,
-                       trace_id: str) -> DesignResult:
-        with trace_context(trace_id):
+    def _submit_traced(self, request: DesignRequest, trace_id: str,
+                       parent_id: str | None = None) -> DesignResult:
+        with trace_context(trace_id, parent_id):
             return self.engine.submit(request)
 
     def _handle_batch(self, data) -> tuple[int, dict]:
@@ -659,7 +784,8 @@ class DesignServer(HttpServerBase):
             "workers": data.get("workers"),
             "n_requests": len(requests),
         })
-        job.trace_id = new_trace_id()
+        job.trace_id = current_trace_id() or new_trace_id()
+        job.trace_parent = current_span_id()
         self._submit(self._run_batch_job, job, requests)
         return 202, {"job": job.id, "status": job.status,
                      "requests": len(requests), "trace_id": job.trace_id}
@@ -723,7 +849,8 @@ class DesignServer(HttpServerBase):
                               f"{sorted(OBJECTIVES)}")
         job = self.jobs.create("explore", params)
         job.set_checkpoint(checkpoint)
-        job.trace_id = new_trace_id()
+        job.trace_id = current_trace_id() or new_trace_id()
+        job.trace_parent = current_span_id()
         self._submit(self._run_explore_job, job)
         return 202, {"job": job.id, "status": job.status,
                      "resumed": checkpoint is not None,
@@ -793,8 +920,9 @@ class DesignServer(HttpServerBase):
 
             # Job bodies run on executor threads, which never inherit
             # the submitting request's context — re-bind the job's
-            # trace id so engine/pipeline spans land under it.
-            with trace_context(job.trace_id), \
+            # trace id (and upstream parent span) so engine/pipeline
+            # spans land under it.
+            with trace_context(job.trace_id, job.trace_parent), \
                     trace_span("job:batch", job=job.id,
                                n_requests=len(requests)):
                 # Record the planner's dry run before executing, so a
@@ -819,7 +947,7 @@ class DesignServer(HttpServerBase):
                      traceback.format_exc())
 
     def _run_explore_job(self, job) -> None:
-        with trace_context(job.trace_id), \
+        with trace_context(job.trace_id, job.trace_parent), \
                 trace_span("job:explore", job=job.id):
             self._explore_body(job)
 
@@ -911,7 +1039,8 @@ def _engine_spec(engine: BatchEngine) -> dict:
 
 def _serve_worker(engine_spec, host, port, step_evals,
                   log_level="warning",
-                  slow_request_ms=1000.0) -> None:
+                  slow_request_ms=1000.0,
+                  profile_hz=None) -> None:
     """One SO_REUSEPORT sibling of a multi-process ``repro serve``."""
     from .cache import DesignCache
 
@@ -926,7 +1055,7 @@ def _serve_worker(engine_spec, host, port, step_evals,
     server = DesignServer(engine=engine, host=host, port=port,
                           step_evals=step_evals, reuse_port=True,
                           slow_request_ms=slow_request_ms,
-                          persist_jobs=False)
+                          persist_jobs=False, profile_hz=profile_hz)
     try:
         asyncio.run(_serve_async(server))
     except KeyboardInterrupt:  # pragma: no cover — parent tears us down
@@ -938,7 +1067,9 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
           processes: int = 1, quiet: bool = False,
           log_level: str = "warning",
           slow_request_ms: float = 1000.0,
-          persist: bool = True) -> None:
+          persist: bool = True,
+          profile_hz: float | None = None,
+          history_interval_s: float = 2.0) -> None:
     """Run the server until interrupted (the ``repro serve`` command).
 
     ``processes > 1`` forks that many SO_REUSEPORT siblings sharing the
@@ -958,6 +1089,11 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
     the same root recovers it.  With ``processes > 1`` only the primary
     process journals — siblings sharing one journal directory would
     each re-adopt the same jobs at boot.
+
+    *profile_hz* (``repro serve --profile``) keeps a continuous
+    sampling profiler running in every process, snapshotted by
+    ``GET /debug/profile``; *history_interval_s* paces the metrics
+    ring buffer behind ``GET /metrics/history``.
     """
     setup_logging(log_level)
     workers: list = []
@@ -965,7 +1101,9 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
                           step_evals=step_evals,
                           reuse_port=processes > 1,
                           slow_request_ms=slow_request_ms,
-                          persist_jobs=persist)
+                          persist_jobs=persist,
+                          profile_hz=profile_hz,
+                          history_interval_s=history_interval_s)
     if processes > 1:
         import multiprocessing
 
@@ -977,7 +1115,7 @@ def serve(engine: BatchEngine | None = None, host: str = "127.0.0.1",
         workers = [ctx.Process(target=_serve_worker, daemon=True,
                                args=(_engine_spec(server.engine), host,
                                      port, step_evals, log_level,
-                                     slow_request_ms))
+                                     slow_request_ms, profile_hz))
                    for _ in range(processes - 1)]
 
     def announce(srv: DesignServer) -> None:
@@ -1083,8 +1221,12 @@ class ServerThread(ServerOnThread):
                  step_evals: float = 1.0, max_jobs: int = 1024,
                  slow_request_ms: float = 1000.0,
                  persist_jobs: bool = True,
-                 job_workers: int | None = None):
+                 job_workers: int | None = None,
+                 profile_hz: float | None = None,
+                 history_interval_s: float = 2.0):
         super().__init__(DesignServer(
             engine=engine, host=host, port=port, step_evals=step_evals,
             max_jobs=max_jobs, slow_request_ms=slow_request_ms,
-            persist_jobs=persist_jobs, job_workers=job_workers))
+            persist_jobs=persist_jobs, job_workers=job_workers,
+            profile_hz=profile_hz,
+            history_interval_s=history_interval_s))

@@ -1,0 +1,288 @@
+"""Metrics-history recorder, snapshot readers, quantile estimation, the
+``repro top`` dashboard renderer, and the CLI surfaces that glue them to
+a running server (``repro top --iterations``, ``repro profile``,
+``repro trace --url``)."""
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (MetricsHistory, MetricsRegistry, histogram_quantile,
+                       histogram_totals, render_dashboard,
+                       snapshot_children, snapshot_value)
+from repro.service import BatchEngine, ServerThread, ServiceClient
+from repro.service.router import RouterThread
+
+TINY = {"kernel": "gemm", "dataflows": ["KJ"], "array": [2, 2]}
+
+
+def _two_snapshots():
+    """Synthetic (prev, curr) registry snapshots 2s apart: 10 requests
+    then 30, with latencies filling two buckets."""
+    reg = MetricsRegistry()
+    req = reg.counter("repro_http_requests_total", "",
+                      ("route", "method", "status"))
+    lat = reg.histogram("repro_http_request_seconds", "", ("route",),
+                        buckets=(0.01, 0.1, 1.0))
+    child = req.labels(route="/generate", method="POST", status="200")
+    child.inc(10)
+    for _ in range(10):
+        lat.labels(route="/generate").observe(0.05)
+    prev = reg.snapshot()
+    child.inc(20)
+    for _ in range(18):
+        lat.labels(route="/generate").observe(0.05)
+    for _ in range(2):
+        lat.labels(route="/generate").observe(0.5)
+    curr = reg.snapshot()
+    return prev, curr
+
+
+class TestHistory:
+    def test_ring_is_bounded_and_ordered(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ticks_total")
+        history = MetricsHistory(registry=reg, interval_s=60,
+                                 max_samples=3)
+        for i in range(5):
+            counter.inc()
+            history.sample_now()
+        samples = history.samples()
+        assert len(samples) == 3  # ring dropped the oldest two
+        values = [snapshot_value(s["metrics"], "ticks_total")
+                  for s in samples]
+        assert values == [3.0, 4.0, 5.0]
+        assert [s["ts"] for s in samples] == sorted(s["ts"]
+                                                    for s in samples)
+
+    def test_refresh_hook_runs_and_exceptions_are_swallowed(self):
+        calls = []
+
+        def refresh():
+            calls.append(1)
+            raise RuntimeError("broken gauge hook")
+
+        history = MetricsHistory(registry=MetricsRegistry(),
+                                 interval_s=60, refresh=refresh)
+        history.sample_now()
+        assert calls == [1]
+
+    def test_series_and_to_dict_limit(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("n_total")
+        history = MetricsHistory(registry=reg, interval_s=60)
+        for i in range(4):
+            counter.inc(2)
+            history.sample_now()
+        series = history.series("n_total", limit=2)
+        assert [v for _ts, v in series] == [6.0, 8.0]
+        payload = history.to_dict(limit=1)
+        assert payload["count"] == 1 and len(payload["samples"]) == 1
+        assert payload["max_samples"] == 600
+
+    def test_thread_samples_on_interval(self):
+        import time
+
+        history = MetricsHistory(registry=MetricsRegistry(),
+                                 interval_s=0.05)
+        history.start()
+        try:
+            time.sleep(0.3)
+        finally:
+            history.stop()
+        assert len(history.samples()) >= 3  # immediate + periodic
+
+
+class TestSnapshotReaders:
+    def test_children_and_value(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "", ("k",)).labels(k="a").inc(2)
+        reg.counter("x_total", "", ("k",)).labels(k="b").inc(5)
+        snap = reg.snapshot()
+        children = dict((labels["k"], value) for labels, value
+                        in snapshot_children(snap, "x_total"))
+        assert children == {"a": 2.0, "b": 5.0}
+        assert snapshot_value(snap, "x_total", k="b") == 5.0
+        assert snapshot_value(snap, "x_total", k="zzz") is None
+        assert snapshot_value(snap, "missing_total") is None
+
+    def test_histogram_totals_shape(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", "", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        bounds, counts, total, count = histogram_totals(
+            reg.snapshot(), "h_seconds")
+        assert bounds == [0.1, 1.0]
+        assert counts == [1, 1, 1]  # per-bucket, +Inf last
+        assert count == 3 and total == pytest.approx(5.55)
+
+
+class TestHistogramQuantile:
+    def test_linear_interpolation_inside_bucket(self):
+        # 10 obs in (0, 0.1]: p50 sits in the middle of that bucket
+        assert histogram_quantile([0.1, 1.0], [10, 0, 0], 0.5) \
+            == pytest.approx(0.05)
+        # across buckets: 5 fast + 5 slow, p99 lands in the second
+        q99 = histogram_quantile([0.1, 1.0], [5, 5, 0], 0.99)
+        assert 0.1 < q99 <= 1.0
+
+    def test_overflow_bucket_clamps_to_top_bound(self):
+        assert histogram_quantile([0.1, 1.0], [0, 0, 7], 0.5) == 1.0
+
+    def test_empty_returns_none(self):
+        assert histogram_quantile([0.1], [0, 0], 0.5) is None
+        assert histogram_quantile([], [], 0.9) is None
+
+
+class TestDashboard:
+    def test_rates_from_deltas(self):
+        prev, curr = _two_snapshots()
+        frame = render_dashboard("http://fleet", {"ok": True}, prev,
+                                 curr, dt=2.0, interval=2.0)
+        assert "repro top — http://fleet" in frame
+        # 20 new requests over 2s = 10.0/s, lifetime total 30
+        row = next(line for line in frame.splitlines()
+                   if line.startswith("/generate"))
+        assert "10.0" in row and row.rstrip().endswith("30")
+        # 18 of 20 new obs at 50ms: p50 interpolates inside the first
+        # bucket (<=10ms excluded, so between 10 and 100 ms)
+        p50 = float(row.split()[2])
+        assert 10.0 < p50 <= 100.0
+
+    def test_first_frame_without_prev(self):
+        _prev, curr = _two_snapshots()
+        frame = render_dashboard("http://x", None, None, curr, dt=2.0)
+        assert "(unreachable)" in frame
+        assert "/generate" in frame
+
+    def test_router_health_marks_down_backends(self):
+        health = {"ok": False, "router": True, "shards": 2,
+                  "jobs": {"running": 1},
+                  "backends": [{"url": "http://a", "ok": True},
+                               {"url": "http://b", "ok": False,
+                                "error": "unreachable"}],
+                  "trace": {"buffered": 4, "dropped": 1}}
+        _prev, curr = _two_snapshots()
+        frame = render_dashboard("http://r", health, None, curr, dt=2.0)
+        assert "1/2 backends ok" in frame
+        assert "DOWN:http://b" in frame and "up:http://a" in frame
+        assert "jobs: running=1" in frame
+        assert "trace: 4 spans buffered / 1 dropped" in frame
+
+
+class TestHistoryEndpoint:
+    def test_server_history_window(self):
+        server = ServerThread(BatchEngine(cache=None),
+                              history_interval_s=0.1).start()
+        try:
+            import time
+
+            time.sleep(0.35)
+            with ServiceClient.from_url(server.url) as client:
+                client.generate(TINY)
+                payload = client.metrics_history()
+                assert payload["count"] >= 2
+                assert payload["interval_s"] == pytest.approx(0.1)
+                last = payload["samples"][-1]["metrics"]
+                assert snapshot_value(
+                    last, "repro_jobs", status="running") is not None
+                trimmed = client.metrics_history(samples=1)
+                assert trimmed["count"] == 1
+        finally:
+            server.stop()
+
+    def test_bad_samples_param_is_400(self):
+        from repro.service import ServiceError
+
+        server = ServerThread(BatchEngine(cache=None)).start()
+        try:
+            with ServiceClient.from_url(server.url) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.request("GET", "/metrics/history?samples=x")
+            assert err.value.status == 400
+        finally:
+            server.stop()
+
+    def test_router_serves_own_history(self):
+        backend = ServerThread(BatchEngine(cache=None)).start()
+        router = RouterThread([backend.url],
+                              history_interval_s=0.1).start()
+        try:
+            with ServiceClient.from_url(router.url) as client:
+                payload = client.metrics_history()
+            assert payload["count"] >= 1
+        finally:
+            router.stop()
+            backend.stop()
+
+
+class TestCliSurfaces:
+    def test_repro_top_iterations(self, tmp_path, capsys):
+        from repro.service import DesignCache
+
+        server = ServerThread(
+            BatchEngine(cache=DesignCache(root=tmp_path / "c"))).start()
+        try:
+            with ServiceClient.from_url(server.url) as client:
+                client.generate(TINY)
+                client.generate(TINY)
+            code = main(["top", "--url", server.url, "--iterations", "2",
+                         "--interval", "0.1", "--no-clear"])
+        finally:
+            server.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top —") == 2
+        assert "/generate" in out
+        assert re.search(r"CACHE TIER", out)
+
+    def test_repro_top_unreachable_is_error(self, capsys):
+        code = main(["top", "--url", "http://127.0.0.1:9",
+                     "--iterations", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_repro_profile_against_server(self, tmp_path, capsys):
+        server = ServerThread(BatchEngine(cache=None)).start()
+        try:
+            collapsed = tmp_path / "p.collapsed"
+            code = main(["profile", "--url", server.url, "--seconds",
+                         "0.2", "--hz", "100", "--include-idle",
+                         "--collapsed-out", str(collapsed)])
+        finally:
+            server.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples over" in out
+        assert collapsed.exists()
+        for line in collapsed.read_text().splitlines():
+            assert re.match(r"^\S.* \d+$", line)
+
+    def test_repro_trace_url_pull(self, tmp_path, capsys):
+        from repro.service import DesignCache
+
+        server = ServerThread(
+            BatchEngine(cache=DesignCache(root=tmp_path / "c"))).start()
+        try:
+            with ServiceClient.from_url(server.url) as client:
+                tid = client.generate(TINY)["trace_id"]
+            out_file = tmp_path / "pulled.json"
+            code = main(["trace", "--url", server.url, "--trace-id", tid,
+                         "--out", str(out_file)])
+        finally:
+            server.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete spans" in out
+        from repro.obs import load_chrome_trace
+
+        events = load_chrome_trace(out_file)
+        assert events and all(e["args"]["trace_id"] == tid
+                              for e in events)
+
+    def test_repro_trace_needs_file_xor_url(self, capsys):
+        assert main(["trace"]) == 2
+        assert main(["trace", "x.json", "--url", "http://y"]) == 2

@@ -14,10 +14,13 @@ import pytest
 from repro.obs import (CACHE_PHASE_TIERS, PHASE_ADG, PHASE_DESIGN,
                        PHASE_DESIGN_LOAD, PHASE_EMIT, PHASE_FLIGHT_WAIT,
                        PHASE_SCHEDULE, PHASE_SIM, PIPELINE_PHASES,
-                       MetricsRegistry,
-                       current_trace_id, export_chrome_trace, get_registry,
-                       get_tracer, load_chrome_trace, new_trace_id,
+                       MetricsRegistry, current_span_id,
+                       current_trace_id, export_chrome_trace,
+                       format_trace_header, get_registry, get_tracer,
+                       load_chrome_trace, new_trace_id,
+                       parse_trace_header, refresh_trace_metrics,
                        timed_phase, trace_context, trace_span)
+from repro.obs.tracing import Tracer
 from repro.service import (BatchEngine, DesignCache, DesignRequest,
                            ServerThread, ServiceClient)
 
@@ -208,6 +211,70 @@ class TestTracing:
         assert "unit_phase" in sink and sink["unit_phase"] >= 0
         assert child.count == before + 1
 
+    def test_span_ids_link_parent_child(self):
+        with trace_span("outer") as outer:
+            assert current_span_id() == outer.span_id
+            with trace_span("inner") as inner:
+                assert current_span_id() == inner.span_id
+            assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+        events = get_tracer().events()
+        by_name = {e["name"]: e["args"] for e in events[-2:]}
+        assert re.match(r"^[0-9a-f]{16}$", by_name["outer"]["span_id"])
+        assert "parent_id" not in by_name["outer"]
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_trace_context_parent_seeds_first_span(self):
+        # the server-side binding: (trace_id, parent from the incoming
+        # X-Repro-Trace header) -> the first local span parents upstream
+        upstream = new_trace_id()
+        with trace_context("feedc0dedeadbeef", upstream):
+            with trace_span("child"):
+                pass
+        args = get_tracer().events()[-1]["args"]
+        assert args["trace_id"] == "feedc0dedeadbeef"
+        assert args["parent_id"] == upstream
+
+    def test_header_format_parse_roundtrip(self):
+        tid = new_trace_id()
+        assert format_trace_header() is None  # unbound context: no header
+        with trace_context(tid):
+            assert format_trace_header() == tid
+            assert parse_trace_header(format_trace_header()) == (tid, None)
+            with trace_span("hop") as span:
+                header = format_trace_header()
+                assert header == f"{tid}-{span.span_id}"
+                assert parse_trace_header(header) == (tid, span.span_id)
+
+    def test_malformed_headers_parse_to_none(self):
+        for garbage in (None, "", "xyz", "short-abc", "0" * 15,
+                        "g" * 16, f"{new_trace_id()}-nothex",
+                        f"{new_trace_id()}-{new_trace_id()}-extra"):
+            assert parse_trace_header(garbage) == (None, None), garbage
+
+    def test_dropped_spans_counted(self):
+        dropped = get_registry().counter(
+            "repro_trace_dropped_total",
+            "trace events dropped because the ring buffer was full")
+        before = dropped.labels().value
+        small = Tracer(max_events=4)
+        for i in range(7):
+            small.record({"name": f"e{i}", "ph": "X"})
+        assert small.dropped == 3
+        assert small.buffer_stats() == {"buffered": 4, "capacity": 4,
+                                        "dropped": 3}
+        assert dropped.labels().value == before + 3
+
+    def test_refresh_trace_metrics_sets_gauge(self):
+        with trace_span("occupancy"):
+            pass
+        stats = refresh_trace_metrics()
+        assert stats["buffered"] >= 1
+        gauge = get_registry().gauge(
+            "repro_trace_buffer_events",
+            "trace events currently buffered in the ring")
+        assert gauge.labels().value == stats["buffered"]
+
     def test_phase_vocabulary_is_hash_stable(self):
         # These literals participate in content-addressed cache keys
         # and on-disk record kinds; changing them silently invalidates
@@ -218,6 +285,60 @@ class TestTracing:
                                    "design_load", "flight_wait")
         assert (PHASE_ADG, PHASE_DESIGN, PHASE_SIM) == CACHE_PHASE_TIERS
         assert CACHE_PHASE_TIERS == ("adg", "design", "sim")
+
+
+# ---------------------------------------------------------------------------
+# trace export / load / drain
+# ---------------------------------------------------------------------------
+
+class TestTraceExportLoad:
+    def test_bare_array_form_loads(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([{"name": "a", "ph": "X"},
+                                    {"name": "b", "ph": "X"}]))
+        events = load_chrome_trace(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_non_dict_entries_filtered(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(
+            {"traceEvents": [{"name": "keep", "ph": "X"}, 42, "junk",
+                             None, ["list"], {"name": "keep2"}]}))
+        assert [e["name"] for e in load_chrome_trace(path)] \
+            == ["keep", "keep2"]
+
+    def test_explicit_events_roundtrip(self, tmp_path):
+        events = [{"name": f"e{i}", "ph": "X", "ts": i, "dur": 1,
+                   "args": {"span_id": "ab" * 8}} for i in range(5)]
+        path = tmp_path / "explicit.json"
+        assert export_chrome_trace(path, events) == 5
+        assert load_chrome_trace(path) == events
+
+    def test_take_drains_once_under_concurrent_recorders(self):
+        tracer = Tracer(max_events=100_000)
+        n_threads, per_thread = 6, 500
+        start = threading.Barrier(n_threads + 1)
+        taken: list[dict] = []
+
+        def record(i):
+            start.wait()
+            for j in range(per_thread):
+                tracer.record({"name": f"t{i}.{j}", "ph": "X"})
+
+        threads = [threading.Thread(target=record, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for _ in range(50):  # drain concurrently with the recorders
+            taken.extend(tracer.take())
+        for t in threads:
+            t.join()
+        taken.extend(tracer.take())
+        # every event drained exactly once: no loss, no duplication
+        assert len(taken) == n_threads * per_thread
+        assert len({e["name"] for e in taken}) == len(taken)
+        assert tracer.events() == [] and tracer.dropped == 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,161 @@
+"""Cross-process trace trees: the ``X-Repro-Trace`` header carried
+client -> router -> backend -> pool worker, the ``GET /trace`` surfaces
+(snapshot, drain, per-trace filter, router fan-and-merge), and the
+parent/child links that stitch one request's spans into one tree.
+
+These run the router and backend in-process (RouterThread/ServerThread
+share one global tracer), so assertions are about span *presence and
+linkage* filtered by trace id — never about buffer-wide counts, which
+would double-count the shared buffer.  The two-real-process version of
+the one-trace-id assertion lives in the CI fleet smoke; the
+different-pid link is covered here by the pool-worker test.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.obs import get_tracer, new_trace_id, trace_context
+from repro.service import (BatchEngine, DesignCache, DesignRequest,
+                           ServerThread, ServiceClient)
+from repro.service.router import RouterThread
+
+TINY = {"kernel": "gemm", "dataflows": ["KJ"], "array": [2, 2]}
+_ID = re.compile(r"^[0-9a-f]{16}$")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    cache = DesignCache(root=tmp_path_factory.mktemp("fleet-cache"))
+    backend = ServerThread(BatchEngine(cache=cache)).start()
+    router = RouterThread([backend.url]).start()
+    yield backend, router
+    router.stop()
+    backend.stop()
+
+
+def _spans_of(trace_id: str) -> list[dict]:
+    return [e for e in get_tracer().events()
+            if e.get("args", {}).get("trace_id") == trace_id]
+
+
+class TestHeaderPropagation:
+    def test_client_bound_trace_id_reaches_backend(self, fleet):
+        """Regression: the client must *send* its bound trace id, and
+        the server must adopt it instead of minting a fresh one."""
+        backend, _router = fleet
+        tid = new_trace_id()
+        with ServiceClient.from_url(backend.url) as client:
+            with trace_context(tid):
+                out = client.generate(TINY)
+        assert out["trace_id"] == tid
+        names = {e["name"] for e in _spans_of(tid)}
+        assert "request" in names
+
+    def test_server_mints_fresh_id_without_header(self, fleet):
+        backend, _router = fleet
+        with ServiceClient.from_url(backend.url) as client:
+            a = client.generate(TINY)["trace_id"]
+            b = client.generate(TINY)["trace_id"]
+        assert _ID.match(a) and _ID.match(b) and a != b
+
+    def test_one_trace_id_through_router_with_linked_hops(self, fleet):
+        """One /generate via the router: the client's id survives both
+        hops, the router records a proxy span, and the backend's spans
+        parent under the proxy span's id."""
+        _backend, router = fleet
+        tid = new_trace_id()
+        with ServiceClient.from_url(router.url) as client:
+            with trace_context(tid):
+                out = client.generate(dict(TINY, array=[3, 3]))
+        assert out["trace_id"] == tid
+
+        spans = _spans_of(tid)
+        proxies = [e for e in spans if e["name"] == "proxy:/generate"]
+        assert proxies, "router recorded no proxy span"
+        proxy_ids = {e["args"]["span_id"] for e in proxies}
+        backend_roots = [e for e in spans
+                         if e["args"].get("parent_id") in proxy_ids]
+        assert backend_roots, "no backend span parents under the proxy"
+        # and the tree bottoms out in real pipeline phases
+        assert {"request", "schedule", "emit"} <= {e["name"]
+                                                  for e in spans}
+
+    def test_batch_job_joins_callers_trace(self, fleet):
+        backend, _router = fleet
+        tid = new_trace_id()
+        with ServiceClient.from_url(backend.url) as client:
+            with trace_context(tid):
+                job_id = client.batch([dict(TINY, array=[5, 5])])
+            job = client.wait(job_id)
+        assert job["trace_id"] == tid
+
+
+class TestPoolWorkerSpans:
+    def test_worker_spans_link_under_batch_span(self, tmp_path):
+        """Pool workers run in other processes; their spans must come
+        home carrying the batch's trace id AND a parent_id pointing at
+        the executor-side batch span."""
+        engine = BatchEngine(cache=DesignCache(root=tmp_path / "c"),
+                             workers=2)
+        requests = [DesignRequest(kernel="gemm", dataflows=(df,),
+                                  array=(2, 2))
+                    for df in ("KJ", "IJ", "IK")]
+        tid = new_trace_id()
+        with trace_context(tid):
+            results = engine.generate_many(requests, workers=2)
+        assert all(r.ok for r in results)
+        spans = _spans_of(tid)
+        batch = [e for e in spans if e["name"] == "batch"]
+        assert len(batch) == 1
+        batch_id = batch[0]["args"]["span_id"]
+        worker_roots = [e for e in spans
+                        if e["name"] == "request"
+                        and e["pid"] != os.getpid()]
+        assert worker_roots, "no worker-process spans came home"
+        assert all(e["args"].get("parent_id") == batch_id
+                   for e in worker_roots)
+
+
+class TestTraceEndpoint:
+    def test_snapshot_filter_and_drain(self, tmp_path):
+        backend = ServerThread(
+            BatchEngine(cache=DesignCache(root=tmp_path / "c"))).start()
+        try:
+            with ServiceClient.from_url(backend.url) as client:
+                tid = client.generate(TINY)["trace_id"]
+                other = client.generate(
+                    dict(TINY, array=[4, 4]))["trace_id"]
+
+                payload = client.trace(trace_id=tid)
+                assert payload["displayTimeUnit"] == "ms"
+                assert payload["pid"] == os.getpid()
+                got = {e["args"]["trace_id"]
+                       for e in payload["traceEvents"]}
+                assert got == {tid}
+
+                drained = client.trace(drain=True)
+                ids = {e["args"].get("trace_id")
+                       for e in drained["traceEvents"]}
+                assert {tid, other} <= ids
+                # the drain emptied the buffer
+                assert client.trace()["traceEvents"] == []
+        finally:
+            backend.stop()
+
+    def test_router_merges_backend_and_own_spans(self, tmp_path):
+        backend = ServerThread(
+            BatchEngine(cache=DesignCache(root=tmp_path / "c"))).start()
+        router = RouterThread([backend.url]).start()
+        try:
+            with ServiceClient.from_url(router.url) as client:
+                tid = client.generate(TINY)["trace_id"]
+                payload = client.trace(trace_id=tid)
+            assert payload["merged_from"] == 2
+            names = {e["name"] for e in payload["traceEvents"]}
+            assert "proxy:/generate" in names  # the router's own span
+            assert "request" in names          # the backend's
+        finally:
+            router.stop()
+            backend.stop()
