@@ -106,10 +106,72 @@ def _export_trace_arg(args: argparse.Namespace, trace_id: str) -> None:
           f"{args.trace_out}")
 
 
+def _service_client(args: argparse.Namespace):
+    """A :class:`ServiceClient` honoring the shared remote flags
+    (``--url``, ``--timeout``, ``--connect-timeout``)."""
+    from .service.client import ServiceClient
+
+    return ServiceClient.from_url(
+        args.url, timeout=args.timeout,
+        connect_timeout=args.connect_timeout)
+
+
+def _remote_failed(what: str, url: str, exc: BaseException) -> int:
+    """Print a remote failure and return the exit code.  A synthesized
+    504 already names which budget expired (connect vs read)."""
+    print(f"remote {what} against {url} failed: {exc}", file=sys.stderr)
+    return 1
+
+
+def _cmd_generate_remote(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .service.client import ServiceError
+
+    if args.topology:
+        print("--topology needs the in-process frontend; drop --url",
+              file=sys.stderr)
+        return 2
+    request = _request_from_args(args)
+    try:
+        with _service_client(args) as client:
+            result = client.generate(request.to_dict(),
+                                     include_rtl=bool(args.output))
+    except (ServiceError, OSError) as exc:
+        return _remote_failed("generate", args.url, exc)
+    if not result.get("ok"):
+        print(f"generation failed: {result.get('error')}",
+              file=sys.stderr)
+        return 1
+    print(result.get("summary", result.get("spec_hash", "")))
+    if result.get("from_cache"):
+        print(f"(cache hit {result['spec_hash'][:12]})")
+    if args.output:
+        out_path = pathlib.Path(args.output)
+        out_path.write_text(result.get("rtl") or "")
+        print(f"wrote {len((result.get('rtl') or '').splitlines())} "
+              f"lines ({request.backend}) to {args.output}")
+        artifacts = result.get("artifacts") or {}
+        primary = next(iter(artifacts), None)
+        stem = out_path.name
+        for suffix in (out_path.suffixes or [""])[::-1]:
+            stem = stem.removesuffix(suffix)
+        for name, text in artifacts.items():
+            if name == primary:
+                continue
+            side = out_path.with_name(
+                stem + _artifact_suffix(name, request.module))
+            side.write_text(text)
+            print(f"wrote companion artifact {side}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .obs import new_trace_id, trace_context
     from .report import render_topology
 
+    if args.url:
+        return _cmd_generate_remote(args)
     request = _request_from_args(args)
     trace_id = new_trace_id()
     with trace_context(trace_id):
@@ -165,6 +227,48 @@ def _parse_array(text: str) -> tuple[int, int]:
     return shape
 
 
+def _cmd_batch_remote(args: argparse.Namespace,
+                      requests: list) -> int:
+    from .service.client import ServiceError
+
+    if args.output_dir:
+        print("--output-dir needs the in-process engine (the service "
+              "returns result summaries, not artifact files); drop "
+              "--url or --output-dir", file=sys.stderr)
+        return 2
+    specs = [request.to_dict() for request in requests]
+    try:
+        with _service_client(args) as client:
+            job = client.batch(specs, workers=args.workers)
+            print(f"submitted job {job} ({len(specs)} requests) "
+                  f"to {args.url}")
+            final = None
+            try:
+                for event in client.stream(job):
+                    if event.get("event") == "result":
+                        record = event.get("result") or {}
+                        status = ("hit" if record.get("from_cache")
+                                  else "ok" if record.get("ok")
+                                  else "FAIL")
+                        print(f"  [{event.get('done', '?')}/{len(specs)}]"
+                              f" {status:4s} "
+                              f"{(record.get('spec_hash') or '')[:12]}")
+                    elif event.get("event") == "end":
+                        final = event.get("job")
+            except ServiceError:
+                # fleet fan-out jobs don't stream; poll them instead
+                final = None
+            if final is None:
+                final = client.wait(job, timeout=max(args.timeout, 600))
+    except (ServiceError, OSError, TimeoutError) as exc:
+        return _remote_failed("batch", args.url, exc)
+    result = final.get("result") or {}
+    ok = result.get("ok", 0)
+    print(f"{ok}/{len(specs)} designs ok — job {job} "
+          f"{final.get('status')}")
+    return 0 if final.get("status") == "done" and ok == len(specs) else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -193,6 +297,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except (ValueError, TypeError, KeyError) as exc:
         print(f"invalid design request: {exc}", file=sys.stderr)
         return 2
+
+    if args.url:
+        return _cmd_batch_remote(args, requests)
 
     engine = _build_engine(args)
 
@@ -268,9 +375,27 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_faults(args: argparse.Namespace) -> int:
+    """Arm ``--fault SITE:KIND[:PARAM]`` specs before serving; returns
+    0, or 2 on a malformed spec."""
+    from .service.faults import get_faults, parse_fault_spec
+
+    for spec in getattr(args, "fault", None) or []:
+        try:
+            get_faults().arm(**parse_fault_spec(spec))
+        except ValueError as exc:
+            print(f"bad --fault: {exc}", file=sys.stderr)
+            return 2
+        print(f"armed chaos fault: {spec}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
+    bad = _arm_faults(args)
+    if bad:
+        return bad
     serve(engine=_build_engine(args), host=args.host, port=args.port,
           step_evals=args.step_evals, processes=args.processes,
           log_level=args.log_level,
@@ -284,11 +409,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_route(args: argparse.Namespace) -> int:
     from .service.router import route
 
-    route(backends=args.backend, host=args.host, port=args.port,
-          log_level=args.log_level, timeout=args.timeout,
-          slow_request_ms=args.slow_request_ms,
-          profile_hz=args.profile_hz if args.profile else None,
-          history_interval_s=args.history_interval)
+    bad = _arm_faults(args)
+    if bad:
+        return bad
+    try:
+        route(backends=args.backend, host=args.host, port=args.port,
+              log_level=args.log_level, timeout=args.timeout,
+              slow_request_ms=args.slow_request_ms,
+              profile_hz=args.profile_hz if args.profile else None,
+              history_interval_s=args.history_interval,
+              replicas=args.replicas,
+              probe_interval_s=args.probe_interval,
+              breaker_threshold=args.breaker_threshold,
+              retry_budget_s=args.retry_budget)
+    except ValueError as exc:
+        print(f"cannot start router: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -570,11 +706,49 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore_remote(args: argparse.Namespace) -> int:
+    from .service.client import ServiceError
+
+    params: dict = {"strategy": args.strategy,
+                    "objective": args.objective, "seed": args.seed}
+    if args.max_evals is not None:
+        params["max_evals"] = args.max_evals
+    if args.area_budget is not None:
+        params["area_budget_mm2"] = args.area_budget
+    try:
+        with _service_client(args) as client:
+            job = client.explore(models=args.models, **params)
+            print(f"submitted job {job} to {args.url}")
+            final = client.wait(job, timeout=max(args.timeout, 600))
+    except (ServiceError, OSError, TimeoutError) as exc:
+        return _remote_failed("explore", args.url, exc)
+    if final.get("status") != "done":
+        print(f"job {job} ended {final.get('status')}: "
+              f"{final.get('error')}", file=sys.stderr)
+        return 1
+    result = final.get("result") or {}
+    print(f"strategy {result.get('strategy')}: evaluated "
+          f"{result.get('points_evaluated')}/{result.get('space_size')} "
+          f"design points (cost {result.get('evals_used', 0):.2f} "
+          "full-model evals)")
+    best = result.get("best")
+    if not best:
+        print("no design point fits the area budget", file=sys.stderr)
+        return 1
+    arch = best.get("arch") or {}
+    print(f"best by {args.objective}: {arch.get('name')} "
+          f"({best.get('gops', 0):.1f} GOP/s, "
+          f"{best.get('gops_per_watt', 0):.0f} GOPS/W)")
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .dse.explorer import DesignSpace, pareto_front
     from .dse.strategies import run_search
     from .models import zoo
 
+    if args.url:
+        return _cmd_explore_remote(args)
     engine = _build_engine(args)
     models = [zoo.MODEL_BUILDERS[name]() for name in args.models]
     result = run_search(models, DesignSpace(), strategy=args.strategy,
@@ -600,6 +774,36 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     best = points[0]
     print(f"\nbest by {args.objective}: {best.arch.name}")
     return 0
+
+
+def _add_remote_flags(parser: argparse.ArgumentParser,
+                      what: str) -> None:
+    """``--url``/``--timeout``/``--connect-timeout``: run *what* against
+    a live design service or fleet instead of in-process."""
+    parser.add_argument("--url", metavar="URL",
+                        help=f"run {what} on a running design service "
+                        "or `repro route` fleet (e.g. "
+                        "http://127.0.0.1:8731) instead of in-process")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="S",
+                        help="with --url: per-read time budget in "
+                        "seconds; expiry surfaces as a 504 naming the "
+                        "expired budget")
+    parser.add_argument("--connect-timeout", type=float, default=None,
+                        metavar="S",
+                        help="with --url: TCP dial budget in seconds "
+                        "(default: share --timeout), so a down host "
+                        "fails fast without shrinking the read budget")
+
+
+def _add_fault_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault", action="append", metavar="SPEC",
+                        help="arm a chaos fault at boot: "
+                        "SITE:KIND[:PARAM] with KIND one of latency/"
+                        "error/drop/crash (e.g. "
+                        "server:/generate:latency:0.25, "
+                        "router:forward:drop); repeatable, and also "
+                        "armable at runtime via POST /debug/faults")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -637,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "JSON (load at https://ui.perfetto.dev)")
     gen.add_argument("--module", default="lego_top")
     _add_cache_flags(gen)
+    _add_remote_flags(gen, "the generation")
     gen.set_defaults(func=_cmd_generate)
 
     bat = sub.add_parser("batch", help="generate many designs at once")
@@ -679,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "every span the batch produced (pool workers "
                      "included) — load it at https://ui.perfetto.dev")
     _add_cache_flags(bat)
+    _add_remote_flags(bat, "the batch")
     bat.set_defaults(func=_cmd_batch)
 
     srv = sub.add_parser("serve", help="run the HTTP design service")
@@ -729,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "(GET /metrics/history window; 0 disables the "
                      "recorder)")
     _add_cache_flags(srv)
+    _add_fault_flag(srv)
     srv.set_defaults(func=_cmd_serve)
 
     rt = sub.add_parser("route",
@@ -763,6 +970,27 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="S",
                     help="seconds between router metrics-history "
                     "samples (GET /metrics/history; 0 disables)")
+    rt.add_argument("--replicas", type=int, default=1, metavar="N",
+                    help="owners per hash-prefix range: each range is "
+                    "served by N consecutive backends, so a down "
+                    "primary fails over to its replica instead of "
+                    "502ing (clamped to the backend count)")
+    rt.add_argument("--probe-interval", type=float, default=1.0,
+                    metavar="S",
+                    help="seconds between background /healthz probes "
+                    "per backend; breaker cooldowns cap here, so a "
+                    "revived backend is back within one interval "
+                    "(0 disables the prober)")
+    rt.add_argument("--breaker-threshold", type=int, default=3,
+                    metavar="K",
+                    help="consecutive transport failures that trip a "
+                    "backend's circuit breaker open")
+    rt.add_argument("--retry-budget", type=float, default=15.0,
+                    metavar="S",
+                    help="wall-clock deadline for write-path failover "
+                    "retries (safe: /generate and /batch are "
+                    "content-addressed, so repeats are idempotent)")
+    _add_fault_flag(rt)
     rt.set_defaults(func=_cmd_route)
 
     bk = sub.add_parser("backends",
@@ -806,6 +1034,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--workers", type=int, default=1,
                     help="worker processes for point evaluation")
     _add_cache_flags(ex)
+    _add_remote_flags(ex, "the exploration")
     ex.set_defaults(func=_cmd_explore)
 
     mt = sub.add_parser("metrics",

@@ -57,11 +57,21 @@ def _health_line(health: dict | None) -> str:
     if health.get("router"):
         backends = health.get("backends") or []
         up = sum(1 for b in backends if b.get("ok"))
-        marks = " ".join(
-            ("up" if b.get("ok") else "DOWN") + f":{b.get('url', '?')}"
-            for b in backends)
+
+        def mark(b: dict) -> str:
+            # per-backend tracker state when the router reports one
+            # (breaker + prober verdict); plain ok/DOWN otherwise
+            state = b.get("state")
+            if state is None:
+                state = "up" if b.get("ok") else "down"
+            word = state if state == "up" else state.upper()
+            return f"{word}:{b.get('url', '?')}"
+
+        status = health.get("status")
+        verdict = f" [{status}]" if status else ""
         return (f"fleet: {up}/{health.get('shards', len(backends))} "
-                f"backends ok   {marks}")
+                f"backends ok{verdict}   "
+                + " ".join(mark(b) for b in backends))
     cache = health.get("cache") or {}
     return (f"server: ok={health.get('ok')} "
             f"workers={health.get('workers', '?')} "
@@ -187,6 +197,33 @@ def _engine_section(prev, curr, dt) -> list[str]:
     ]
 
 
+def _fleet_section(prev, curr, dt) -> list[str]:
+    """Self-healing activity: failover retries by reason, breaker
+    transitions, chaos faults fired.  Empty when none of the fleet
+    metric families have data (single plain server)."""
+    retries = _counter_children(curr, "repro_router_retries_total")
+    flips = _counter_children(curr, "repro_breaker_transitions_total")
+    faults = _counter_children(curr, "repro_faults_injected_total")
+    if not (retries or flips or faults):
+        return []
+    total = sum(value for _, value in retries)
+    prev_total = sum(value for _, value in _counter_children(
+        prev, "repro_router_retries_total")) if prev else None
+    reasons = " ".join(
+        f"{labels.get('reason', '?')}={int(value)}"
+        for labels, value in sorted(retries, key=lambda kv: -kv[1])) \
+        or "-"
+    opened = sum(value for labels, value in flips
+                 if labels.get("to") == "open")
+    fired = sum(value for _, value in faults)
+    return [
+        f"failover: retries={int(total)} "
+        f"({_rate(total, prev_total, dt):.1f}/s)   by reason: {reasons}",
+        f"breakers: transitions={int(sum(v for _, v in flips))} "
+        f"(opened {int(opened)})   chaos faults fired={int(fired)}",
+    ]
+
+
 def render_dashboard(url: str, health: dict | None, prev: dict | None,
                      curr: dict, dt: float, now: float | None = None,
                      interval: float | None = None) -> str:
@@ -206,4 +243,8 @@ def render_dashboard(url: str, health: dict | None, prev: dict | None,
     lines += _cache_section(prev, curr, dt)
     lines.append("")
     lines += _engine_section(prev, curr, dt)
+    fleet = _fleet_section(prev, curr, dt)
+    if fleet:
+        lines.append("")
+        lines += fleet
     return "\n".join(lines)

@@ -17,6 +17,9 @@ from .cache import CacheStats, DesignCache, shard_roots
 from .client import ServiceClient, ServiceError
 from .engine import (BatchEngine, BatchPlan, PlanGroup, evaluate_archs,
                      model_fingerprint, requests_from_space)
+from .faults import (FaultError, FaultRegistry, get_faults,
+                     parse_fault_spec, reset_faults)
+from .health import BackendHealth, CircuitBreaker, FleetHealth
 from .jobs import Job, JobRegistry
 from .persist import JobJournal
 from .router import DesignRouter, RouterThread, route
@@ -37,4 +40,7 @@ __all__ = [
     "DesignRouter", "RouterThread", "route",
     "ServiceClient", "ServiceError",
     "Job", "JobRegistry", "JobJournal", "shard_roots",
+    "FaultError", "FaultRegistry", "get_faults", "parse_fault_spec",
+    "reset_faults",
+    "BackendHealth", "CircuitBreaker", "FleetHealth",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 
@@ -36,22 +37,45 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
 
 
+class _BudgetTimeout(TimeoutError):
+    """A timeout already attributed to one budget (connect vs read) —
+    the message names which one expired."""
+
+
 class ServiceClient:
-    """Talk to a running design service."""
+    """Talk to a running design service.
+
+    Two separate time budgets: *connect_timeout* bounds the TCP dial
+    (``None`` shares *timeout*, the old single-budget behavior) and
+    *timeout* bounds each read.  An expired budget surfaces as a
+    :class:`ServiceError` (HTTP 504, client-synthesized) from the
+    high-level methods — its message names which budget ran out.
+    *retries* is the transport-level retry allowance for **idempotent
+    GETs** (and mid-:meth:`stream` resumes): connection resets and
+    refusals are retried with a short jittered backoff; timeouts are
+    never retried (the budget is the contract).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8731,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0,
+                 connect_timeout: float | None = None,
+                 retries: int = 2):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = max(0, int(retries))
         self._conn: http.client.HTTPConnection | None = None
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 120.0) -> "ServiceClient":
+    def from_url(cls, url: str, timeout: float = 120.0,
+                 connect_timeout: float | None = None,
+                 retries: int = 2) -> "ServiceClient":
         """``ServiceClient.from_url("http://127.0.0.1:8731")``."""
         hostport = url.split("//", 1)[-1].rstrip("/")
         host, _, port = hostport.partition(":")
-        return cls(host=host, port=int(port or 80), timeout=timeout)
+        return cls(host=host, port=int(port or 80), timeout=timeout,
+                   connect_timeout=connect_timeout, retries=retries)
 
     # -- transport ---------------------------------------------------------
 
@@ -72,11 +96,16 @@ class ServiceClient:
 
         A stale keep-alive socket is retried once — but only when the
         failure happened while *sending* (the server cannot have acted
-        on a half-written request) or on an idempotent GET.  A POST
-        whose response was lost is NOT resent: ``/batch``/``/explore``
-        would create a duplicate job.
+        on a half-written request) or on an idempotent GET (which gets
+        the full *retries* allowance).  A POST whose response was lost
+        is NOT resent: ``/batch``/``/explore`` would create a duplicate
+        job.  An expired time budget raises :class:`ServiceError` with
+        a synthesized 504 naming the budget.
         """
-        status, data = self._roundtrip(method, path, body)
+        try:
+            status, data = self._roundtrip(method, path, body)
+        except _BudgetTimeout as exc:
+            raise ServiceError(504, {"error": str(exc)}) from exc
         try:
             decoded = json.loads(data.decode()) if data else {}
         except ValueError:
@@ -89,7 +118,10 @@ class ServiceClient:
         """Like :meth:`request`, but return the raw response body as
         text — for non-JSON endpoints (the Prometheus exposition of
         ``GET /metrics``)."""
-        status, data = self._roundtrip(method, path, None)
+        try:
+            status, data = self._roundtrip(method, path, None)
+        except _BudgetTimeout as exc:
+            raise ServiceError(504, {"error": str(exc)}) from exc
         text = data.decode(errors="replace")
         if status >= 400:
             raise ServiceError(status, {"error": text})
@@ -107,6 +139,39 @@ class ServiceClient:
         contextvars are no longer bound)."""
         return self._roundtrip(method, path, body, trace=trace)
 
+    def _new_connection(self) -> http.client.HTTPConnection:
+        """Dial under *connect_timeout*, then rebind the socket to the
+        read *timeout* — so a refused/blackholed backend fails fast
+        without shrinking the budget for slow-but-working responses."""
+        connect = (self.connect_timeout if self.connect_timeout is not None
+                   else self.timeout)
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=connect)
+        try:
+            conn.connect()
+        except TimeoutError:
+            conn.close()
+            raise _BudgetTimeout(
+                f"connect to {self.host}:{self.port} exceeded the "
+                f"connect budget (connect_timeout={connect:g}s)") from None
+        except OSError:
+            conn.close()
+            raise
+        if conn.sock is not None:
+            conn.sock.settimeout(self.timeout)
+        return conn
+
+    def _read_timeout(self, exc: OSError) -> _BudgetTimeout:
+        if isinstance(exc, _BudgetTimeout):
+            return exc
+        return _BudgetTimeout(
+            f"read from {self.host}:{self.port} exceeded the total "
+            f"budget (timeout={self.timeout:g}s; the connect budget did "
+            f"not expire)")
+
+    def _retry_pause(self, attempt: int) -> None:
+        time.sleep(min(1.0, 0.02 * 2 ** attempt) * (0.5 + random.random()))
+
     def _roundtrip(self, method: str, path: str,
                    body: dict | bytes | None,
                    trace: str | None = None) -> tuple[int, bytes]:
@@ -120,27 +185,41 @@ class ServiceClient:
             trace = format_trace_header()  # bound trace id, if any
         if trace is not None:
             headers[TRACE_HEADER] = trace
-        for attempt in (0, 1):
-            if self._conn is None:
-                self._conn = http.client.HTTPConnection(
-                    self.host, self.port, timeout=self.timeout)
+        # Non-GETs keep the historical two attempts (the second only
+        # replaces a stale keep-alive socket); idempotent GETs add the
+        # transport retry allowance on top.
+        attempts = 2 + (self.retries if method == "GET" else 0)
+        last_exc: BaseException | None = None
+        for attempt in range(attempts):
             try:
+                if self._conn is None:
+                    self._conn = self._new_connection()
                 self._conn.request(method, path, body=payload,
                                    headers=headers)
-            except (ConnectionError, http.client.HTTPException, OSError):
+            except (ConnectionError, http.client.HTTPException,
+                    OSError) as exc:
                 self.close()
-                if attempt:
+                if isinstance(exc, TimeoutError):
+                    raise self._read_timeout(exc) from exc
+                last_exc = exc
+                if attempt == attempts - 1:
                     raise
+                self._retry_pause(attempt)
                 continue
             try:
                 response = self._conn.getresponse()
                 return response.status, response.read()
-            except (ConnectionError, http.client.HTTPException, OSError):
+            except (ConnectionError, http.client.HTTPException,
+                    OSError) as exc:
                 self.close()
-                if attempt or method != "GET":
+                if isinstance(exc, TimeoutError):
+                    raise self._read_timeout(exc) from exc
+                if method != "GET" or attempt == attempts - 1:
                     raise
-        raise ConnectionError(  # pragma: no cover — both attempts failed
-            f"could not reach {self.host}:{self.port}")
+                last_exc = exc
+                self._retry_pause(attempt)
+        raise ConnectionError(  # pragma: no cover — loop always raises
+            f"could not reach {self.host}:{self.port}: {last_exc}")
 
     # -- endpoints ---------------------------------------------------------
 
@@ -287,23 +366,84 @@ class ServiceClient:
         """
         path = (f"/jobs/{job_id}/stream"
                 + ("" if checkpoint else "?checkpoint=0"))
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
-        try:
-            conn.request("GET", path)
-            response = conn.getresponse()
-            if response.status >= 400:
-                data = response.read()
+        # Resume state: the server replays a job's buffered events from
+        # the start of every stream, so after a mid-stream connection
+        # reset we reconnect and skip the `seen` events already yielded
+        # (replay-then-follow).  `failures` resets on progress, so a
+        # long stream tolerates `retries` *consecutive* drops, not
+        # `retries` total.
+        seen = 0
+        failures = 0
+        while True:
+            try:
+                conn = self._new_connection()
+            except (ConnectionError, OSError) as exc:
+                if isinstance(exc, TimeoutError):
+                    raise  # already budget-named by _new_connection
+                failures += 1
+                if failures > self.retries:
+                    raise
+                self._retry_pause(failures)
+                continue
+            try:
                 try:
-                    decoded = json.loads(data.decode()) if data else {}
-                except ValueError:
-                    decoded = {"error": data.decode(errors="replace")}
-                raise ServiceError(response.status, decoded)
-            # http.client undoes the chunked framing; each line is one
-            # JSON event.
-            for raw in response:
-                line = raw.strip()
-                if line:
-                    yield json.loads(line.decode())
-        finally:
-            conn.close()
+                    conn.request("GET", path)
+                    response = conn.getresponse()
+                except (ConnectionError, http.client.HTTPException,
+                        OSError) as exc:
+                    if isinstance(exc, TimeoutError):
+                        raise self._read_timeout(exc) from exc
+                    failures += 1
+                    if failures > self.retries:
+                        raise
+                    self._retry_pause(failures)
+                    continue
+                if response.status >= 400:
+                    data = response.read()
+                    try:
+                        decoded = (json.loads(data.decode())
+                                   if data else {})
+                    except ValueError:
+                        decoded = {"error": data.decode(errors="replace")}
+                    raise ServiceError(response.status, decoded)
+                # http.client undoes the chunked framing; each line is
+                # one JSON event.
+                skip = seen
+                try:
+                    for raw in response:
+                        line = raw.strip()
+                        if not line:
+                            continue
+                        if skip:
+                            skip -= 1
+                            continue
+                        event = json.loads(line.decode())
+                        seen += 1
+                        failures = 0
+                        yield event
+                        if (isinstance(event, dict)
+                                and event.get("event") == "end"):
+                            return  # the protocol's terminal event
+                except (ConnectionError, http.client.HTTPException,
+                        OSError) as exc:
+                    if isinstance(exc, TimeoutError):
+                        raise self._read_timeout(exc) from exc
+                    failures += 1
+                    if failures > self.retries:
+                        raise
+                    self._retry_pause(failures)
+                else:
+                    # EOF before the "end" event: the server died
+                    # mid-stream.  A truncated chunked response reads
+                    # as a clean EOF here (http.client's line iteration
+                    # swallows the IncompleteRead), so only the "end"
+                    # event above is trusted as a real ending — resume
+                    # this like any other mid-stream drop.
+                    failures += 1
+                    if failures > self.retries:
+                        raise ConnectionError(
+                            "stream ended before the terminal event "
+                            f"({seen} events seen)")
+                    self._retry_pause(failures)
+            finally:
+                conn.close()

@@ -1,0 +1,214 @@
+"""Chaos fault injection: break the fleet on purpose, on demand.
+
+A process-global :class:`FaultRegistry` (like the metrics registry —
+:func:`get_faults` returns the shared instance) maps **site names** to
+armed faults.  Instrumented code calls :meth:`FaultRegistry.fire` at
+each site; when a fault is armed there, the call injects the failure:
+
+===========  ==========================================================
+kind         effect at the site
+===========  ==========================================================
+``latency``  delay the request by ``param`` seconds (default 0.05)
+``error``    raise :class:`FaultError` → the server answers 500
+``drop``     raise :class:`FaultDrop` → the connection is aborted with
+             no response (the peer sees a reset, like a crashed server)
+``crash``    ``os._exit(86)`` — the process dies as if SIGKILLed
+===========  ==========================================================
+
+Sites are plain strings.  The HTTP layer fires
+``<scope>:<route>`` per request (``server:/generate``,
+``router:/jobs/{id}/stream``, … — route labels are the normalized ones
+metrics use, so job ids don't explode the site space) and the fleet
+router fires ``router:forward`` around every backend round-trip.
+
+Faults are armed three ways: in code (``get_faults().arm(...)``), at
+boot (``repro serve --fault SITE:KIND[:PARAM]``), or at runtime against
+a live process (``POST /debug/faults`` — see
+:meth:`repro.service.server.HttpServerBase._faults_endpoint`).  ``rate``
+makes a fault probabilistic, ``count`` bounds how many times it fires
+before disarming itself.  Every fire increments
+``repro_faults_injected_total{site,kind}``.
+
+>>> registry = FaultRegistry()
+>>> _ = registry.arm("demo:site", "latency", param=0.0, count=1)
+>>> registry.fire("demo:site")
+0.0
+>>> registry.fire("demo:site")  # count exhausted: disarmed
+0.0
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+from ..obs import get_registry
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultDrop", "FaultError",
+           "FaultRegistry", "get_faults", "parse_fault_spec",
+           "reset_faults"]
+
+FAULT_KINDS = ("latency", "error", "drop", "crash")
+
+_FAULTS_FIRED = get_registry().counter(
+    "repro_faults_injected_total",
+    "chaos faults fired, by site and kind", ("site", "kind"))
+
+
+class FaultError(RuntimeError):
+    """An injected application error: the server answers 500."""
+
+
+class FaultDrop(BaseException):
+    """An injected connection drop.
+
+    Deliberately *not* an :class:`Exception`: the dispatch layer's
+    catch-all 500 handler must not turn a drop into a clean response.
+    It propagates to the connection handler, which aborts the transport
+    without writing anything.
+    """
+
+
+class Fault:
+    """One armed fault (see the module table for kind semantics)."""
+
+    __slots__ = ("site", "kind", "rate", "param", "count")
+
+    def __init__(self, site: str, kind: str, rate: float = 1.0,
+                 param: float | None = None, count: int | None = None):
+        if not isinstance(site, str) or not site:
+            raise ValueError("fault site must be a non-empty string")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one "
+                             f"of {FAULT_KINDS}")
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        if param is not None:
+            param = float(param)
+            if param < 0:
+                raise ValueError(f"fault param must be >= 0, got {param}")
+        if count is not None:
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ValueError(f'"count" must be an integer, '
+                                 f"got {count!r}")
+            if count < 1:
+                raise ValueError(f"fault count must be >= 1, got {count}")
+        self.site = site
+        self.kind = kind
+        self.rate = rate
+        self.param = param
+        self.count = count
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "kind": self.kind, "rate": self.rate,
+                "param": self.param, "count": self.count}
+
+
+class FaultRegistry:
+    """Thread-safe site → armed-fault table (one fault per site)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._faults: dict[str, Fault] = {}
+
+    def arm(self, site: str, kind: str, rate: float = 1.0,
+            param: float | None = None,
+            count: int | None = None) -> Fault:
+        """Arm (or replace) the fault at *site*; returns it."""
+        fault = Fault(site, kind, rate=rate, param=param, count=count)
+        with self._lock:
+            self._faults[site] = fault
+        return fault
+
+    def clear(self, site: str | None = None) -> int:
+        """Disarm one site (or all of them); returns how many cleared."""
+        with self._lock:
+            if site is None:
+                cleared = len(self._faults)
+                self._faults.clear()
+                return cleared
+            return 1 if self._faults.pop(site, None) is not None else 0
+
+    def active(self) -> list[dict]:
+        with self._lock:
+            return [fault.to_dict() for fault in self._faults.values()]
+
+    def fire(self, site: str) -> float:
+        """Hit *site*: returns the latency to inject in seconds (0.0
+        when nothing fires — the caller sleeps, so async sites can
+        ``await`` instead of blocking the loop), raises
+        :class:`FaultError`/:class:`FaultDrop`, or exits the process
+        (``crash``).  Count-bounded faults disarm themselves when
+        exhausted."""
+        with self._lock:
+            fault = self._faults.get(site)
+            if fault is None:
+                return 0.0
+            if fault.rate < 1.0 and random.random() >= fault.rate:
+                return 0.0
+            if fault.count is not None:
+                fault.count -= 1
+                if fault.count <= 0:
+                    del self._faults[site]
+            kind, param = fault.kind, fault.param
+        _FAULTS_FIRED.labels(site=site, kind=kind).inc()
+        if kind == "latency":
+            return param if param is not None else 0.05
+        if kind == "error":
+            raise FaultError(f"injected fault at {site}")
+        if kind == "drop":
+            raise FaultDrop(site)
+        os._exit(86)  # crash: no cleanup, exactly like a SIGKILL
+
+
+def parse_fault_spec(spec: str) -> dict:
+    """Parse a ``--fault`` flag value: ``SITE:KIND[:PARAM]``.
+
+    The site itself may contain colons (``server:/generate``), so the
+    kind is matched from the right.  ``PARAM`` is the kind's knob:
+    seconds for ``latency``, a fire probability in [0, 1] for every
+    other kind.
+
+    >>> parse_fault_spec("server:/generate:latency:0.25")
+    {'site': 'server:/generate', 'kind': 'latency', 'param': 0.25}
+    >>> parse_fault_spec("router:forward:drop")
+    {'site': 'router:forward', 'kind': 'drop'}
+    """
+    parts = spec.split(":")
+    if len(parts) >= 2 and parts[-1] in FAULT_KINDS:
+        site, kind, raw = ":".join(parts[:-1]), parts[-1], None
+    elif len(parts) >= 3 and parts[-2] in FAULT_KINDS:
+        site, kind, raw = ":".join(parts[:-2]), parts[-2], parts[-1]
+    else:
+        raise ValueError(
+            f"fault spec {spec!r} is not SITE:KIND[:PARAM] with KIND one "
+            f"of {FAULT_KINDS}")
+    if not site:
+        raise ValueError(f"fault spec {spec!r} has an empty site")
+    out: dict = {"site": site, "kind": kind}
+    if raw is not None:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(f"fault param {raw!r} is not a number") \
+                from None
+        if kind == "latency":
+            out["param"] = value
+        else:
+            out["rate"] = value
+    return out
+
+
+_FAULTS = FaultRegistry()
+
+
+def get_faults() -> FaultRegistry:
+    """The process-global fault registry every site checks."""
+    return _FAULTS
+
+
+def reset_faults() -> int:
+    """Disarm everything (test teardown); returns how many cleared."""
+    return _FAULTS.clear()

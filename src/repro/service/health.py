@@ -1,0 +1,305 @@
+"""Fleet health: circuit breakers, a background prober, retry backoff.
+
+Every backend the router knows about gets a :class:`BackendHealth`
+tracker fed from two directions: the request path (every forward
+records its transport success/failure) and a :class:`FleetHealth`
+prober thread (periodic ``GET /healthz`` per backend).  The tracker
+folds both into a three-state machine:
+
+``up``
+    breaker closed and the last probe answered.
+``degraded``
+    something is off — probe failing but breaker not yet tripped, or
+    breaker half-open mid-recovery.  Traffic is still attempted.
+``down``
+    breaker open: consecutive transport failures hit the threshold.
+    Requests skip this backend until a half-open probe succeeds.
+
+The breaker is the classic three-state machine: ``closed`` → (K
+consecutive failures) → ``open`` → (cooldown expires, one trial
+request allowed) → ``half_open`` → ``closed`` on success or back to
+``open`` (with doubled cooldown) on failure.  Cooldowns are capped at
+the probe interval so a revived backend is re-admitted within one
+probe interval — the prober's success closes the breaker even when no
+client traffic is flowing.
+
+Exported metrics: ``repro_backend_state{backend}`` (2=up, 1=degraded,
+0=down) and ``repro_breaker_transitions_total{backend,to}``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import random
+import threading
+import time
+
+from ..obs import get_registry
+
+__all__ = ["BackendHealth", "CircuitBreaker", "FleetHealth",
+           "backoff_delays", "classify_error"]
+
+_BREAKER_TRANSITIONS = get_registry().counter(
+    "repro_breaker_transitions_total",
+    "circuit-breaker state transitions, by backend and entered state",
+    ("backend", "to"))
+_BACKEND_STATE = get_registry().gauge(
+    "repro_backend_state",
+    "per-backend fleet state: 2=up, 1=degraded, 0=down", ("backend",))
+
+STATE_VALUES = {"up": 2.0, "degraded": 1.0, "down": 0.0}
+
+
+def classify_error(exc: BaseException) -> str:
+    """Name the transport-failure class for error payloads and the
+    ``repro_router_retries_total{reason}`` label."""
+    # RemoteDisconnected subclasses both ConnectionResetError and
+    # BadStatusLine; the reset test must come first.
+    if isinstance(exc, ConnectionRefusedError):
+        return "refused"
+    if isinstance(exc, (ConnectionResetError, BrokenPipeError,
+                        ConnectionAbortedError)):
+        return "reset"
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, http.client.HTTPException):
+        return "protocol"
+    if isinstance(exc, OSError):
+        return "os_error"
+    return "error"
+
+
+def backoff_delays(base_s: float = 0.05, max_s: float = 2.0,
+                   factor: float = 2.0):
+    """Infinite generator of jittered exponential backoff delays
+    (0.5x–1.5x jitter so synchronized retriers fan out)."""
+    delay = base_s
+    while True:
+        yield delay * (0.5 + random.random())
+        delay = min(max_s, delay * factor)
+
+
+class CircuitBreaker:
+    """Per-backend closed / open / half_open breaker (thread-safe)."""
+
+    def __init__(self, backend: str = "", threshold: int = 3,
+                 cooldown_s: float = 0.25, max_cooldown_s: float = 30.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.backend = backend
+        self.threshold = threshold
+        self.cooldown_s = max(cooldown_s, 0.001)
+        self.max_cooldown_s = max(max_cooldown_s, self.cooldown_s)
+        self.state = "closed"
+        self.failures = 0  # consecutive transport failures
+        self._trips = 0    # consecutive open transitions, for backoff
+        self._retry_at = 0.0
+        self._lock = threading.Lock()
+
+    def _transition(self, to: str) -> None:
+        # caller holds the lock
+        self.state = to
+        _BREAKER_TRANSITIONS.labels(backend=self.backend, to=to).inc()
+        if to == "open":
+            self._trips += 1
+            cooldown = min(self.max_cooldown_s,
+                           self.cooldown_s * 2 ** (self._trips - 1))
+            self._retry_at = time.monotonic() + cooldown
+
+    def allows(self) -> bool:
+        """May a request be sent now?  An expired-cooldown call flips
+        open → half_open and admits exactly one trial request."""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open" and time.monotonic() >= self._retry_at:
+                self._transition("half_open")
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.failures = 0
+            self._trips = 0
+            if self.state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            if self.state == "half_open":
+                self._transition("open")
+            elif self.state == "closed" and self.failures >= self.threshold:
+                self._transition("open")
+
+    def to_dict(self) -> dict:
+        return {"state": self.state, "failures": self.failures}
+
+
+class BackendHealth:
+    """Breaker + last-probe verdict for one backend URL."""
+
+    def __init__(self, url: str, threshold: int = 3,
+                 cooldown_s: float = 0.25, max_cooldown_s: float = 30.0):
+        self.url = url
+        self.breaker = CircuitBreaker(url, threshold=threshold,
+                                      cooldown_s=cooldown_s,
+                                      max_cooldown_s=max_cooldown_s)
+        self.probe_ok = True  # optimistic until the first verdict
+        self.last_error: str | None = None
+        self._export()
+
+    @property
+    def state(self) -> str:
+        breaker = self.breaker.state
+        if breaker == "open":
+            return "down"
+        if breaker == "closed" and self.probe_ok:
+            return "up"
+        return "degraded"
+
+    def _export(self) -> None:
+        _BACKEND_STATE.labels(backend=self.url).set(
+            STATE_VALUES[self.state])
+
+    def allows(self) -> bool:
+        return self.breaker.allows()
+
+    def record_success(self) -> None:
+        self.probe_ok = True
+        self.last_error = None
+        self.breaker.record_success()
+        self._export()
+
+    def record_failure(self, error: str | None = None) -> None:
+        self.probe_ok = False
+        if error is not None:
+            self.last_error = error
+        self.breaker.record_failure()
+        self._export()
+
+    def to_dict(self) -> dict:
+        out = {"state": self.state, "breaker": self.breaker.to_dict()}
+        if self.last_error:
+            out["last_error"] = self.last_error
+        return out
+
+
+class FleetHealth:
+    """Health trackers for a backend list, plus the prober thread.
+
+    The prober re-checks each backend every ``probe_interval_s``; while
+    a backend is failing it backs off exponentially from
+    ``interval / 4`` up to the interval itself (fast confirmation of a
+    blip, steady-state cost bounded) — so a revived backend is marked
+    ``up`` within one probe interval of coming back.  Breaker cooldowns
+    default to the same cap for the same reason.  Pass
+    ``probe_interval_s=0`` to disable probing (request-path recording
+    still runs).
+    """
+
+    def __init__(self, urls, probe_interval_s: float = 1.0,
+                 threshold: int = 3, cooldown_s: float | None = None,
+                 max_cooldown_s: float | None = None):
+        self.urls = list(urls)
+        self.probe_interval_s = probe_interval_s
+        interval = probe_interval_s if probe_interval_s else 1.0
+        interval = max(interval, 0.05)
+        if cooldown_s is None:
+            cooldown_s = interval / 4
+        if max_cooldown_s is None:
+            max_cooldown_s = interval
+        self.backends = [
+            BackendHealth(url, threshold=threshold, cooldown_s=cooldown_s,
+                          max_cooldown_s=max_cooldown_s)
+            for url in self.urls]
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # request-path recording
+
+    def allows(self, index: int) -> bool:
+        return self.backends[index].allows()
+
+    def record(self, index: int, ok: bool,
+               error: str | None = None) -> None:
+        if ok:
+            self.backends[index].record_success()
+        else:
+            self.backends[index].record_failure(error)
+
+    def state(self, index: int) -> str:
+        return self.backends[index].state
+
+    def describe(self, index: int) -> dict:
+        return self.backends[index].to_dict()
+
+    def overall(self) -> str:
+        """Fleet verdict: ``up`` when every backend is, ``down`` when
+        none is reachable, ``degraded`` in between."""
+        states = [backend.state for backend in self.backends]
+        if all(state == "up" for state in states):
+            return "up"
+        if all(state == "down" for state in states):
+            return "down"
+        return "degraded"
+
+    # ------------------------------------------------------------------
+    # prober
+
+    def start(self) -> None:
+        if not self.probe_interval_s or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-health-prober")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def probe(self, index: int) -> bool:
+        """One synchronous ``GET /healthz`` against backend *index*."""
+        from .client import ServiceClient, ServiceError
+        timeout = max(0.25, min(self._interval, 5.0))
+        try:
+            with ServiceClient.from_url(self.urls[index], timeout=timeout,
+                                        connect_timeout=timeout) as client:
+                client.request("GET", "/healthz")
+        except (OSError, ServiceError, ValueError,
+                http.client.HTTPException) as exc:
+            self.backends[index].record_failure(
+                f"probe: {type(exc).__name__}: {exc}")
+            return False
+        self.backends[index].record_success()
+        return True
+
+    def _run(self) -> None:
+        count = len(self.urls)
+        next_due = [0.0] * count  # probe everyone immediately at start
+        backoff = [self._interval] * count
+        floor = self._interval / 4
+        while not self._stop.is_set():
+            now = time.monotonic()
+            for index in range(count):
+                if now < next_due[index]:
+                    continue
+                if self.probe(index):
+                    backoff[index] = self._interval
+                else:
+                    # exponential from interval/4 back up to the interval:
+                    # a fresh failure is re-checked fast, a long-dead
+                    # backend costs one probe per interval
+                    if backoff[index] >= self._interval:
+                        backoff[index] = floor
+                    else:
+                        backoff[index] = min(self._interval,
+                                             backoff[index] * 2)
+                next_due[index] = time.monotonic() + backoff[index]
+            pause = min(next_due) - time.monotonic()
+            self._stop.wait(min(max(pause, 0.01), 0.25))

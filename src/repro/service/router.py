@@ -38,15 +38,36 @@ Routing policy:
   the flamegraphs; ``/metrics/history`` serves the router's own
   metrics time series for the ``repro top`` dashboard.
 
+Fault tolerance (``--replicas N``): each hash-prefix range gets a
+**replica group** of N consecutive backends (a static map; the cache
+being content-addressed means any owner computes the same bytes, so
+read-your-writes holds across failover).  Write-path forwards run
+through a failover loop — live owners in order, then (whole group
+down) any live backend as *graceful degradation* (a cache miss, not an
+outage) — with deadline-budgeted jittered-backoff retries, safe
+because ``/generate``/``/batch`` are idempotent.  Per-backend health
+is tracked by :mod:`repro.service.health`: a circuit breaker trips
+after K consecutive transport failures and a background prober
+re-probes ``GET /healthz`` (exponential backoff capped at the probe
+interval) so a revived backend is back ``up`` within one interval.
+The merged ``/healthz`` reports the fleet verdict
+(``up``/``degraded``/``down``) plus per-backend breaker state, and
+``repro_backend_state`` / ``repro_router_retries_total`` /
+``repro_breaker_transitions_total`` chart it all in ``repro top``.
+
 The router holds no job state beyond the composite-fan table, so
 router restarts only forget fan ids — the underlying per-shard jobs
-(journaled by their backends) survive.
+(journaled by their backends) survive.  Chaos faults
+(:mod:`repro.service.faults`) can be armed in the router process too
+(``router:/generate``, ``router:forward`` sites) via its own
+``POST /debug/faults``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import http.client
 import itertools
 import json
 import os
@@ -55,6 +76,7 @@ import re
 import secrets
 import signal
 import threading
+import time
 import urllib.parse
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -65,6 +87,8 @@ from ..obs import (DEFAULT_HZ, MetricsHistory, MetricsRegistry, Profile,
                    new_trace_id, profile_for, refresh_trace_metrics,
                    setup_logging, trace_context, trace_span)
 from .client import ServiceClient, ServiceError
+from .faults import get_faults
+from .health import FleetHealth, backoff_delays, classify_error
 from .server import (HttpServerBase, ServerOnThread, StreamPayload,
                      _BadRequest, _request_from_body, _serve_async)
 
@@ -74,6 +98,11 @@ __all__ = ["DesignRouter", "RouterThread", "route"]
 _SHARD_ID = re.compile(r"^s(\d+)\.(.+)$")
 
 _LIVE = ("queued", "running", "pausing")
+
+_ROUTER_RETRIES = get_registry().counter(
+    "repro_router_retries_total",
+    "write-path forwards retried or failed over, by what failed the "
+    "previous attempt", ("reason",))
 
 
 class _ClientPool:
@@ -92,7 +121,15 @@ class _ClientPool:
         with self._lock:
             client = self._idle.pop() if self._idle else None
         if client is None:
-            client = ServiceClient.from_url(self.url, timeout=self.timeout)
+            # retries=0: the router's failover loop owns retry policy —
+            # a pooled client must report a transport failure after one
+            # attempt (plus the stale-keep-alive resend), not sit in its
+            # own backoff.  The bounded connect budget makes a
+            # blackholed backend fail fast instead of eating the whole
+            # read timeout.
+            client = ServiceClient.from_url(
+                self.url, timeout=self.timeout,
+                connect_timeout=min(5.0, self.timeout), retries=0)
         try:
             yield client
         except BaseException:
@@ -180,12 +217,17 @@ class DesignRouter(HttpServerBase):
     """Fan requests across design-service shards (see module doc)."""
 
     log_name = "route"
+    fault_scope = "router"
 
     def __init__(self, backends, host: str = "127.0.0.1", port: int = 0,
                  timeout: float = 300.0, reuse_port: bool = False,
                  slow_request_ms: float = 1000.0,
                  profile_hz: float | None = None,
-                 history_interval_s: float = 2.0):
+                 history_interval_s: float = 2.0,
+                 replicas: int = 1,
+                 probe_interval_s: float = 1.0,
+                 breaker_threshold: int = 3,
+                 retry_budget_s: float = 15.0):
         super().__init__(host=host, port=port, reuse_port=reuse_port,
                          slow_request_ms=slow_request_ms)
         urls = [str(u).rstrip("/") for u in backends]
@@ -193,6 +235,20 @@ class DesignRouter(HttpServerBase):
             raise ValueError("a router needs at least one --backend URL")
         self.backends = urls
         self.timeout = timeout
+        if replicas < 1:
+            raise ValueError(f"--replicas must be >= 1, got {replicas}")
+        #: owners per hash-prefix range: shard i is owned by backends
+        #: i, i+1, ... i+replicas-1 (mod N) — a static replica map, so
+        #: a down primary fails over to the next owner instead of
+        #: blackholing its range
+        self.replicas = min(int(replicas), len(urls))
+        #: per-request deadline for the write-path failover/retry loop
+        self.retry_budget_s = min(retry_budget_s, timeout)
+        #: breaker + prober state per backend (``/healthz`` fans, the
+        #: request path, and the background prober all feed it)
+        self.health = FleetHealth(urls,
+                                  probe_interval_s=probe_interval_s,
+                                  threshold=breaker_threshold)
         #: always-on sampler of the router process itself
         #: (``repro route --profile``)
         self.profiler = (SamplingProfiler(hz=profile_hz)
@@ -223,9 +279,11 @@ class DesignRouter(HttpServerBase):
             self.history.start()
         if self.profiler is not None:
             self.profiler.start()
+        self.health.start()
         return self
 
     async def stop(self) -> None:
+        self.health.stop()
         if self.history is not None:
             self.history.stop()
         if self.profiler is not None:
@@ -246,32 +304,129 @@ class DesignRouter(HttpServerBase):
     def _forward_sync(self, index: int, method: str, path: str,
                       body=None, trace: str | None = None
                       ) -> tuple[int, bytes]:
+        delay = get_faults().fire("router:forward")
+        if delay:
+            time.sleep(delay)  # executor thread: blocking is the point
         try:
             with self._pools[index].client() as client:
-                return client.roundtrip(method, path, body, trace=trace)
-        except OSError as exc:
+                status, raw = client.roundtrip(method, path, body,
+                                               trace=trace)
+        except (OSError, http.client.HTTPException) as exc:
+            # HTTPException covers a backend speaking a non-HTTP byte
+            # stream (BadStatusLine) or truncating a response — as dead
+            # to the router as a refused connect.
+            reason = classify_error(exc)
+            self.health.record(
+                index, False, f"{type(exc).__name__}: {exc}")
             return 502, json.dumps(
                 {"error": f"backend {self.backends[index]} unreachable: "
-                          f"{type(exc).__name__}: {exc}"}).encode()
+                          f"{type(exc).__name__}: {exc}",
+                 "backend": self.backends[index],
+                 "backend_index": index,
+                 "reason": reason}).encode()
+        # Any HTTP response — even a 5xx — means the transport is fine;
+        # only transport failures feed the breaker.
+        self.health.record(index, True)
+        return status, raw
 
-    async def _proxy(self, index: int, method: str, path: str,
-                     body=None) -> tuple[int, bytes]:
-        """Forward one write-path request under a router **proxy span**.
+    # -- failover ----------------------------------------------------------
+
+    def owners_of(self, shard: int) -> list[int]:
+        """The replica group owning *shard*'s hash-prefix range:
+        ``replicas`` consecutive backends starting at the primary."""
+        count = len(self.backends)
+        return [(shard + offset) % count for offset in
+                range(self.replicas)]
+
+    def _candidates(self, owners: list[int]) -> list[int]:
+        """Backends to try this round, in preference order: live owners
+        first; with the whole replica group down, one live non-owner
+        (a cache miss beats an outage — graceful degradation); as a
+        last resort the owners anyway (breakers can be stale)."""
+        live = [index for index in owners if self.health.allows(index)]
+        if live:
+            return live
+        others = [index for index in range(len(self.backends))
+                  if index not in owners and self.health.allows(index)]
+        if others:
+            _ROUTER_RETRIES.labels(reason="degraded_reroute").inc()
+            return [others[next(self._rr) % len(others)]]
+        return list(owners)
+
+    @staticmethod
+    def _failure_reason(status: int, raw: bytes) -> str:
+        if status == 502:
+            try:
+                reason = json.loads(raw.decode()).get("reason")
+            except (ValueError, UnicodeDecodeError, AttributeError):
+                reason = None
+            if isinstance(reason, str):
+                return reason
+        return f"http_{status}"
+
+    def _forward_failover_sync(self, shard: int, method: str, path: str,
+                               body=None, trace: str | None = None
+                               ) -> tuple[int, bytes, int]:
+        """Forward with failover: try the shard's replica group (then
+        degraded rerouting) and retry transport failures with jittered
+        exponential backoff inside the retry budget.  Safe to repeat
+        because ``/generate``/``/batch`` are content-addressed and
+        idempotent.  Returns ``(status, body, serving backend index)``
+        so callers can tag job ids with the backend that actually
+        answered."""
+        deadline = time.monotonic() + self.retry_budget_s
+        owners = self.owners_of(shard)
+        delays = backoff_delays()
+        last: tuple[int, bytes, int] | None = None
+        last_reason: str | None = None
+        while True:
+            for index in self._candidates(owners):
+                if last_reason is not None:
+                    _ROUTER_RETRIES.labels(reason=last_reason).inc()
+                status, raw = self._forward_sync(index, method, path,
+                                                 body, trace)
+                if status < 500:
+                    return status, raw, index
+                last = (status, raw, index)
+                last_reason = self._failure_reason(status, raw)
+            if last is not None and last_reason is not None \
+                    and last_reason.startswith("http_"):
+                # every candidate answered with an application-level
+                # 5xx: the fleet is reachable and deterministic —
+                # waiting won't change the answer
+                return last
+            delay = next(delays)
+            if time.monotonic() + delay >= deadline:
+                if last is not None:
+                    return last
+                return 502, json.dumps(
+                    {"error": "no backend reachable within the retry "
+                              f"budget ({self.retry_budget_s:g}s)",
+                     "reason": "budget_exhausted"}).encode(), owners[0]
+            time.sleep(delay)
+
+    async def _proxy(self, shard: int, method: str, path: str,
+                     body=None) -> tuple[int, bytes, int]:
+        """Forward one write-path request under a router **proxy span**,
+        with replica failover (:meth:`_forward_failover_sync`).
 
         The span joins the incoming trace (or mints a fresh id for
         untraced clients) and its span id rides to the backend in
         ``X-Repro-Trace`` — so in the merged fleet trace the backend's
         spans hang under ``proxy:<path>``, which hangs under whatever
-        the client had open."""
+        the client had open.  Returns ``(status, body, serving backend
+        index)``."""
         trace_id = current_trace_id() or new_trace_id()
+        loop = asyncio.get_running_loop()
         with trace_context(trace_id, current_span_id()):
-            with trace_span(f"proxy:{path}", shard=index,
-                            backend=self.backends[index]) as span:
-                status, raw = await self._forward(
-                    index, method, path, body,
-                    trace=format_trace_header(trace_id, span.span_id))
-                span.set(status=status)
-        return status, raw
+            with trace_span(f"proxy:{path}", shard=shard,
+                            backend=self.backends[shard]) as span:
+                status, raw, served = await loop.run_in_executor(
+                    self._forward_executor, self._forward_failover_sync,
+                    shard, method, path, body,
+                    format_trace_header(trace_id, span.span_id))
+                span.set(status=status, served_by=self.backends[served])
+        return status, raw, served
 
     @staticmethod
     def _decode(raw: bytes) -> dict:
@@ -322,7 +477,9 @@ class DesignRouter(HttpServerBase):
                 self._route_cache[body] = index
                 while len(self._route_cache) > self.route_cache_entries:
                     self._route_cache.popitem(last=False)
-        return await self._proxy(index, "POST", "/generate", body)
+        status, raw, _served = await self._proxy(index, "POST",
+                                                 "/generate", body)
+        return status, raw
 
     async def _route(self, method, path, query, data) -> tuple[int, dict]:
         if path == "/healthz":
@@ -388,19 +545,22 @@ class DesignRouter(HttpServerBase):
             # Single-shard batches forward wholesale: no fan bookkeeping,
             # the composite id machinery, or merged polling needed.
             index = next(iter(shards))
-            status, raw = await self._proxy(index, "POST", "/batch",
-                                            data)
+            # The job must be tagged with the backend that actually
+            # accepted it — under failover that can be a replica, not
+            # the primary the shard map names.
+            status, raw, served = await self._proxy(index, "POST",
+                                                    "/batch", data)
             payload = self._decode(raw)
             if status < 400 and isinstance(payload.get("job"), str):
-                payload["job"] = self._tag(index, payload["job"])
-                payload["shards"] = [self.backends[index]]
+                payload["job"] = self._tag(served, payload["job"])
+                payload["shards"] = [self.backends[served]]
             return status, payload
 
         async def submit(index: int, positions: list[int]):
             body = dict(data, requests=[specs[p] for p in positions])
-            status, raw = await self._proxy(index, "POST", "/batch",
-                                            body)
-            return index, positions, status, self._decode(raw)
+            status, raw, served = await self._proxy(index, "POST",
+                                                    "/batch", body)
+            return served, positions, status, self._decode(raw)
 
         outcomes = await asyncio.gather(
             *(submit(i, ps) for i, ps in sorted(shards.items())))
@@ -425,11 +585,12 @@ class DesignRouter(HttpServerBase):
         # Round-robin: any backend can search; the shared work is its
         # cache tier, which is already shard-routed per evaluation.
         index = next(self._rr) % len(self.backends)
-        status, raw = await self._proxy(index, "POST", "/explore", data)
+        status, raw, served = await self._proxy(index, "POST",
+                                                "/explore", data)
         payload = self._decode(raw)
         if status < 400 and isinstance(payload.get("job"), str):
-            payload["job"] = self._tag(index, payload["job"])
-            payload["backend"] = self.backends[index]
+            payload["job"] = self._tag(served, payload["job"])
+            payload["backend"] = self.backends[served]
         return status, payload
 
     # -- job forwarding ----------------------------------------------------
@@ -568,11 +729,24 @@ class DesignRouter(HttpServerBase):
                 if isinstance(value, (int, float)):
                     jobs[key] = jobs.get(key, 0) + value
             entry: dict = {"url": self.backends[index], "ok": up}
+            # tracker verdict (breaker + prober); the live poll above
+            # already fed it through _forward_sync's recording
+            entry.update(self.health.describe(index))
             if not up:
                 entry["error"] = payload.get("error")
             backends.append(entry)
-        return 200, {"ok": ok, "router": True,
+        # "ok" keeps its strict meaning (every backend answering); the
+        # fleet "status" adds the degradation verdict: any live backend
+        # still serves the whole keyspace via failover/rerouting.
+        if ok:
+            status_word = "up"
+        elif any(entry["ok"] for entry in backends):
+            status_word = "degraded"
+        else:
+            status_word = "down"
+        return 200, {"ok": ok, "status": status_word, "router": True,
                      "shards": len(self.backends),
+                     "replicas": self.replicas,
                      "jobs": jobs, "backends": backends,
                      "trace": refresh_trace_metrics(),
                      "profiling": self.profiler is not None}
@@ -719,19 +893,28 @@ def route(backends, host: str = "127.0.0.1", port: int = 8730,
           timeout: float = 300.0,
           slow_request_ms: float = 1000.0,
           profile_hz: float | None = None,
-          history_interval_s: float = 2.0) -> None:
+          history_interval_s: float = 2.0,
+          replicas: int = 1,
+          probe_interval_s: float = 1.0,
+          breaker_threshold: int = 3,
+          retry_budget_s: float = 15.0) -> None:
     """Run the fleet router until interrupted (``repro route``)."""
     setup_logging(log_level)
     router = DesignRouter(backends, host=host, port=port,
                           timeout=timeout,
                           slow_request_ms=slow_request_ms,
                           profile_hz=profile_hz,
-                          history_interval_s=history_interval_s)
+                          history_interval_s=history_interval_s,
+                          replicas=replicas,
+                          probe_interval_s=probe_interval_s,
+                          breaker_threshold=breaker_threshold,
+                          retry_budget_s=retry_budget_s)
 
     def announce(r: DesignRouter) -> None:
         if not quiet:
             print(f"repro fleet router on {r.url} -> "
-                  f"{len(r.backends)} backend(s): "
+                  f"{len(r.backends)} backend(s), "
+                  f"{r.replicas} replica(s) per range: "
                   + ", ".join(r.backends), flush=True)
 
     def _terminate(signum, frame):  # pragma: no cover — signal path
@@ -758,8 +941,15 @@ class RouterThread(ServerOnThread):
                  timeout: float = 300.0,
                  slow_request_ms: float = 1000.0,
                  profile_hz: float | None = None,
-                 history_interval_s: float = 2.0):
+                 history_interval_s: float = 2.0,
+                 replicas: int = 1,
+                 probe_interval_s: float = 1.0,
+                 breaker_threshold: int = 3,
+                 retry_budget_s: float = 15.0):
         super().__init__(DesignRouter(
             backends, host=host, port=port, timeout=timeout,
             slow_request_ms=slow_request_ms, profile_hz=profile_hz,
-            history_interval_s=history_interval_s))
+            history_interval_s=history_interval_s, replicas=replicas,
+            probe_interval_s=probe_interval_s,
+            breaker_threshold=breaker_threshold,
+            retry_budget_s=retry_budget_s))

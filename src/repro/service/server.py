@@ -30,6 +30,8 @@ GET      ``/trace``            span buffer as Chrome-trace JSON
                                (``?drain=1`` scrape, ``?trace_id=`` filter)
 GET      ``/debug/profile``    CPU profile: ``?seconds=N`` one-shot capture,
                                bare = always-on profiler snapshot
+GET/POST ``/debug/faults``     chaos harness: list / arm / clear injected
+                               faults (see :mod:`repro.service.faults`)
 GET      ``/backends``         registered emitter families + option schemas
 POST     ``/generate``         one design, synchronously (cache-first)
 POST     ``/batch``            many designs -> job id
@@ -91,6 +93,7 @@ from ..obs import (DEFAULT_HZ, MetricsHistory, SamplingProfiler,
                    parse_trace_header, profile_for, refresh_trace_metrics,
                    setup_logging, trace_context, trace_span)
 from .engine import BatchEngine
+from .faults import FaultDrop, FaultError, get_faults
 from .jobs import JobRegistry, RegistryFull
 from .persist import JobJournal
 from .spec import DesignRequest, DesignResult
@@ -271,6 +274,9 @@ class HttpServerBase:
     """
 
     log_name = "serve"
+    #: prefix of this process's chaos-fault sites (the router overrides
+    #: it): each request fires ``<scope>:<route label>``
+    fault_scope = "server"
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  reuse_port: bool = False,
@@ -343,8 +349,15 @@ class HttpServerBase:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body,
-                                                       headers)
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, body, headers)
+                except FaultDrop:
+                    # injected connection drop: abort without writing a
+                    # response — the peer sees a reset, exactly as if
+                    # the process died mid-request
+                    writer.transport.abort()
+                    break
                 keep_alive = (headers.get("connection", "").lower()
                               != "close")
                 if isinstance(payload, StreamPayload):
@@ -430,6 +443,18 @@ class HttpServerBase:
         writer.write(head.encode("ascii"))
         await writer.drain()
         async for event in stream.events(self._closing):
+            try:
+                delay = get_faults().fire(
+                    f"{self.fault_scope}:stream-event")
+            except (FaultDrop, FaultError):
+                # mid-stream chaos: the response status is already on
+                # the wire, so both kinds truncate the chunked stream
+                # exactly like a crash between events — resume clients
+                # must replay-then-follow
+                writer.transport.abort()
+                return
+            if delay:
+                await asyncio.sleep(delay)
             line = event if isinstance(event, str) else json.dumps(event)
             data = line.encode() + b"\n"
             writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
@@ -460,6 +485,13 @@ class HttpServerBase:
     async def _dispatch_traced(self, method, path, query, body, route,
                                t0) -> tuple[int, dict]:
         try:
+            if path != "/debug/faults":
+                # the chaos-control endpoint itself is exempt, so a
+                # latency/error fault can always be cleared remotely
+                delay = get_faults().fire(
+                    f"{self.fault_scope}:{_route_label(path)}")
+                if delay:
+                    await asyncio.sleep(delay)
             answer = await self._route_raw(method, path, query, body)
             if answer is not None:
                 status, payload = answer
@@ -470,8 +502,14 @@ class HttpServerBase:
                     status, payload = 400, {
                         "error": f"malformed JSON body: {exc}"}
                 else:
-                    status, payload = await self._route(method, path,
-                                                        query, data)
+                    if path == "/debug/faults":
+                        status, payload = self._faults_endpoint(method,
+                                                                data)
+                    else:
+                        status, payload = await self._route(method, path,
+                                                            query, data)
+        except FaultError as exc:
+            status, payload = 500, {"error": str(exc), "injected": True}
         except _BadRequest as exc:
             status, payload = 400, {"error": str(exc)}
         except RegistryFull as exc:
@@ -497,6 +535,40 @@ class HttpServerBase:
             self._log.debug("%s %s -> %d in %.1f ms", method, route,
                             status, elapsed * 1000.0)
         return status, payload
+
+    def _faults_endpoint(self, method: str, data) -> tuple[int, dict]:
+        """``/debug/faults``: the chaos-harness control surface.
+
+        ``GET`` lists armed faults.  ``POST {"site", "kind", "rate"?,
+        "param"?, "count"?}`` arms one; ``POST {"clear": true|"site"}``
+        disarms.  Shared by server and router — either tier of a fleet
+        can be broken (and healed) remotely.
+        """
+        registry = get_faults()
+        if method == "GET":
+            return 200, {"faults": registry.active()}
+        if method != "POST":
+            return 405, {"error": "use GET or POST /debug/faults"}
+        if not isinstance(data, dict):
+            raise _BadRequest("body must be a JSON object")
+        if "clear" in data:
+            target = data["clear"]
+            if target is True:
+                cleared = registry.clear()
+            elif isinstance(target, str):
+                cleared = registry.clear(target)
+            else:
+                raise _BadRequest('"clear" must be true or a site name')
+            return 200, {"cleared": cleared, "faults": registry.active()}
+        try:
+            fault = registry.arm(
+                site=data.get("site"), kind=data.get("kind"),
+                rate=data.get("rate", 1.0), param=data.get("param"),
+                count=data.get("count"))
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(str(exc)) from None
+        return 200, {"armed": fault.to_dict(),
+                     "faults": registry.active()}
 
 
 class DesignServer(HttpServerBase):

@@ -1,0 +1,187 @@
+"""Chaos fault-injection harness: spec parsing, registry semantics
+(rate, count, clear), and end-to-end injection through a live server —
+armed via ``POST /debug/faults``, observed as 500s, added latency, and
+dropped connections survived by the client's transport retries."""
+
+import pytest
+
+from repro.service import (BatchEngine, DesignCache, ServerThread,
+                           ServiceClient, ServiceError, get_faults,
+                           parse_fault_spec, reset_faults)
+from repro.service.faults import (FAULT_KINDS, Fault, FaultDrop,
+                                  FaultError, FaultRegistry)
+
+TINY = {"kernel": "gemm", "dataflows": ["KJ"], "array": [2, 2]}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    reset_faults()
+    yield
+    reset_faults()
+
+
+class TestParseFaultSpec:
+    def test_site_kind(self):
+        assert parse_fault_spec("router:forward:drop") == {
+            "site": "router:forward", "kind": "drop"}
+
+    def test_latency_param_is_seconds(self):
+        assert parse_fault_spec("server:/generate:latency:0.25") == {
+            "site": "server:/generate", "kind": "latency", "param": 0.25}
+
+    def test_non_latency_param_is_rate(self):
+        assert parse_fault_spec("server:/batch:error:0.5") == {
+            "site": "server:/batch", "kind": "error", "rate": 0.5}
+
+    def test_site_may_contain_colons(self):
+        parsed = parse_fault_spec("server:/jobs/{id}/stream:drop")
+        assert parsed["site"] == "server:/jobs/{id}/stream"
+        assert parsed["kind"] == "drop"
+
+    @pytest.mark.parametrize("bad", ["", "drop", "site:nope",
+                                     "site:latency:abc", ":drop"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+
+class TestFaultRegistry:
+    def test_arm_fire_error(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "error")
+        with pytest.raises(FaultError):
+            registry.fire("a:b")
+
+    def test_fire_unarmed_site_is_free(self):
+        assert FaultRegistry().fire("nothing:here") == 0.0
+
+    def test_latency_returns_delay(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "latency", param=0.125)
+        assert registry.fire("a:b") == 0.125
+        registry.arm("a:b", "latency")  # default delay
+        assert registry.fire("a:b") == pytest.approx(0.05)
+
+    def test_drop_raises_base_exception(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "drop")
+        with pytest.raises(FaultDrop):
+            registry.fire("a:b")
+        assert not isinstance(FaultDrop("x"), Exception)
+
+    def test_count_self_disarms(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "error", count=2)
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                registry.fire("a:b")
+        assert registry.fire("a:b") == 0.0
+        assert registry.active() == []
+
+    def test_rate_zero_never_fires(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "error", rate=0.0)
+        for _ in range(20):
+            assert registry.fire("a:b") == 0.0
+
+    def test_clear_one_and_all(self):
+        registry = FaultRegistry()
+        registry.arm("a:b", "error")
+        registry.arm("c:d", "drop")
+        assert registry.clear("a:b") == 1
+        assert registry.clear("a:b") == 0
+        assert registry.clear() == 1
+        assert registry.active() == []
+
+    @pytest.mark.parametrize("kwargs", [
+        {"site": "", "kind": "error"},
+        {"site": "a:b", "kind": "explode"},
+        {"site": "a:b", "kind": "error", "rate": 1.5},
+        {"site": "a:b", "kind": "latency", "param": -1},
+        {"site": "a:b", "kind": "error", "count": 0},
+        {"site": "a:b", "kind": "error", "count": True},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Fault(**kwargs)
+
+    def test_kind_table_is_closed(self):
+        assert FAULT_KINDS == ("latency", "error", "drop", "crash")
+
+
+@pytest.fixture()
+def server(tmp_path):
+    thread = ServerThread(BatchEngine(
+        cache=DesignCache(root=tmp_path / "cache"))).start()
+    yield thread
+    thread.stop()
+
+
+class TestInjectionEndToEnd:
+    def test_error_fault_answers_500_injected(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/generate", "kind": "error"})
+            with pytest.raises(ServiceError) as err:
+                c.generate(TINY)
+            assert err.value.status == 500
+            assert err.value.payload.get("injected") is True
+            # other routes are unaffected
+            assert c.health()["ok"]
+
+    def test_latency_fault_delays_route(self, server):
+        import time
+        with ServiceClient.from_url(server.url) as c:
+            c.generate(TINY)  # warm
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/generate", "kind": "latency",
+                       "param": 0.2})
+            t0 = time.monotonic()
+            assert c.generate(TINY)["from_cache"]
+            assert time.monotonic() - t0 >= 0.2
+
+    def test_drop_fault_resets_connection(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/healthz", "kind": "drop",
+                       "count": 1})
+            # one drop, then the client's idempotent-GET retry lands
+            assert c.health()["ok"]
+
+    def test_debug_faults_lists_and_clears(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/generate", "kind": "error"})
+            listed = c.request("GET", "/debug/faults")["faults"]
+            assert [f["site"] for f in listed] == ["server:/generate"]
+            out = c.request("POST", "/debug/faults", {"clear": True})
+            assert out["cleared"] == 1
+            assert c.request("GET", "/debug/faults")["faults"] == []
+            assert c.generate(TINY)["ok"]
+
+    def test_debug_faults_is_fault_exempt(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            # even a drop-everything fault can't sever the control
+            # surface: /debug/faults never fires faults
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/debug/faults", "kind": "drop"})
+            assert c.request("POST", "/debug/faults",
+                             {"clear": True})["cleared"] == 1
+
+    def test_bad_arm_body_400(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            with pytest.raises(ServiceError) as err:
+                c.request("POST", "/debug/faults",
+                          {"site": "a:b", "kind": "explode"})
+            assert err.value.status == 400
+
+    def test_faults_metric_counts_fires(self, server):
+        with ServiceClient.from_url(server.url) as c:
+            c.request("POST", "/debug/faults",
+                      {"site": "server:/generate", "kind": "error",
+                       "count": 1})
+            with pytest.raises(ServiceError):
+                c.generate(TINY)
+            text = c.metrics()
+            assert "repro_faults_injected_total" in text

@@ -172,6 +172,46 @@ class TestDashboard:
         assert "jobs: running=1" in frame
         assert "trace: 4 spans buffered / 1 dropped" in frame
 
+    def test_fleet_health_states_and_verdict(self):
+        health = {"ok": False, "status": "degraded", "router": True,
+                  "shards": 2, "jobs": {},
+                  "backends": [{"url": "http://a", "ok": True,
+                                "state": "up"},
+                               {"url": "http://b", "ok": False,
+                                "state": "degraded"}]}
+        _prev, curr = _two_snapshots()
+        frame = render_dashboard("http://r", health, None, curr, dt=2.0)
+        assert "[degraded]" in frame
+        assert "DEGRADED:http://b" in frame and "up:http://a" in frame
+
+    def test_fleet_section_failover_and_chaos(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        retries = reg.counter("repro_router_retries_total", "",
+                              ("reason",))
+        retries.labels(reason="refused").inc(6)
+        retries.labels(reason="degraded_reroute").inc(2)
+        flips = reg.counter("repro_breaker_transitions_total", "",
+                            ("backend", "to"))
+        flips.labels(backend="http://b", to="open").inc(2)
+        flips.labels(backend="http://b", to="closed").inc(1)
+        reg.counter("repro_faults_injected_total", "",
+                    ("site", "kind")).labels(
+            site="router:forward", kind="drop").inc(3)
+        frame = render_dashboard("http://r", {"ok": True}, None,
+                                 reg.snapshot(), dt=2.0)
+        assert "failover: retries=8" in frame
+        assert "refused=6" in frame and "degraded_reroute=2" in frame
+        assert "transitions=3 (opened 2)" in frame
+        assert "chaos faults fired=3" in frame
+
+    def test_fleet_section_absent_without_fleet_metrics(self):
+        _prev, curr = _two_snapshots()
+        frame = render_dashboard("http://x", {"ok": True}, None, curr,
+                                 dt=2.0)
+        assert "failover:" not in frame
+
 
 class TestHistoryEndpoint:
     def test_server_history_window(self):

@@ -4,6 +4,7 @@ namespaced job forwarding (poll/pause/resume/stream through the
 router), merged /jobs, /healthz and /metrics, and backend-failure
 surfacing (502 with the backend named)."""
 
+import socket
 import threading
 
 import pytest
@@ -226,29 +227,129 @@ class TestMergedReads:
         assert any(f["name"] == "verilog" for f in families)
 
 
+class _FakeBackend(threading.Thread):
+    """A raw socket server answering every connection with fixed bytes
+    — a backend that speaks malformed JSON, or not HTTP at all."""
+
+    def __init__(self, response: bytes):
+        super().__init__(daemon=True)
+        self.response = response
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.url = f"http://127.0.0.1:{self.sock.getsockname()[1]}"
+        self._halt = threading.Event()
+
+    def run(self):
+        self.sock.settimeout(0.1)
+        while not self._halt.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            with conn:
+                try:
+                    # drain the request first: closing with unread data
+                    # in the buffer would RST instead of FIN
+                    conn.settimeout(0.2)
+                    try:
+                        while conn.recv(65536):
+                            pass
+                    except TimeoutError:
+                        pass
+                    conn.sendall(self.response)
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._halt.set()
+        self.sock.close()
+        self.join(timeout=5)
+
+
 class TestBackendFailure:
-    def test_dead_backend_502_names_backend(self, tmp_path):
+    def test_dead_shard_reroutes_to_live_backend(self, tmp_path):
         backend = ServerThread(BatchEngine(
             cache=DesignCache(root=tmp_path / "cache"))).start()
         dead_url = "http://127.0.0.1:9"  # discard port — nothing there
-        router = RouterThread([backend.url, dead_url]).start()
+        router = RouterThread([backend.url, dead_url],
+                              probe_interval_s=0,
+                              retry_budget_s=2.0).start()
         try:
             with ServiceClient.from_url(router.url) as c:
+                # shard 1's whole replica group is down: graceful
+                # degradation reroutes to the live backend (a cache
+                # miss, not an outage) instead of 502ing
                 spec = _specs_for_shard(1, 1)[0]
-                with pytest.raises(ServiceError) as err:
-                    c.generate(spec)
-                assert err.value.status == 502
-                assert "127.0.0.1:9" in str(err.value)
-                # the healthy shard still serves
+                assert c.generate(spec)["ok"]
                 live = _specs_for_shard(0, 1)[0]
                 assert c.generate(live)["ok"]
                 health = c.health()
-                assert health["ok"] is False
+                assert health["ok"] is False           # strict verdict
+                assert health["status"] == "degraded"  # graded verdict
                 assert [b["ok"] for b in health["backends"]] == [True,
                                                                  False]
+                assert health["backends"][1]["state"] in {"degraded",
+                                                          "down"}
         finally:
             router.stop()
             backend.stop()
+
+    def test_all_backends_dead_structured_502(self):
+        dead_url = "http://127.0.0.1:9"
+        router = RouterThread([dead_url], probe_interval_s=0,
+                              retry_budget_s=0.3).start()
+        try:
+            with ServiceClient.from_url(router.url) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.generate(TINY)
+                assert err.value.status == 502
+                payload = err.value.payload
+                assert payload["backend"] == dead_url
+                assert payload["backend_index"] == 0
+                assert payload["reason"] == "refused"
+                assert "127.0.0.1:9" in str(err.value)
+                assert c.health()["status"] == "down"
+        finally:
+            router.stop()
+
+    def test_backend_malformed_json_passes_through(self):
+        fake = _FakeBackend(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 17\r\nConnection: close\r\n\r\n"
+            b"{this is not json")
+        fake.start()
+        router = RouterThread([fake.url], probe_interval_s=0,
+                              retry_budget_s=0.5).start()
+        try:
+            with ServiceClient.from_url(router.url) as c:
+                # a 200 is forwarded byte-for-byte, garbage or not: the
+                # router doesn't re-validate backend payloads
+                result = c.generate(TINY)
+                assert result == {"error": "{this is not json"}
+        finally:
+            router.stop()
+            fake.stop()
+
+    def test_backend_non_http_bytes_502_protocol(self):
+        fake = _FakeBackend(b"I AM NOT HTTP\r\n\r\n")
+        fake.start()
+        router = RouterThread([fake.url], probe_interval_s=0,
+                              retry_budget_s=0.3).start()
+        try:
+            with ServiceClient.from_url(router.url) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.generate(TINY)
+                assert err.value.status == 502
+                payload = err.value.payload
+                assert payload["reason"] == "protocol"
+                assert payload["backend"] == fake.url
+        finally:
+            router.stop()
+            fake.stop()
 
     def test_router_requires_backends(self):
         with pytest.raises(ValueError):
